@@ -1,0 +1,91 @@
+// EXP-T10: DHC2's round complexity across density exponents δ.
+//
+// Theorem 10: on G(n, p = c·ln n / n^δ), DHC2 succeeds whp in Õ(n^δ) rounds
+// — "the denser the random graph, the smaller the running time".  We sweep
+// both δ and n: per δ, the log-log slope of rounds vs n should track δ; at
+// fixed n, rounds must increase with δ (denser ⇒ faster).
+//
+// Flags: --sizes=..., --deltas=..., --seeds=N, --c=X.
+#include "bench_util.h"
+#include "core/dhc2.h"
+
+int main(int argc, char** argv) {
+  using namespace dhc;
+  const support::Cli cli(argc, argv);
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 3));
+  // c = 4 keeps every partition's degree comfortably inside the rotation
+  // algorithm's working regime across the delta sweep (see EXP-P1).
+  const double c = cli.get_double("c", 4.0);
+  const auto sizes = cli.get_int_list("sizes", {512, 1024, 2048});
+  const auto deltas = cli.get_double_list("deltas", {0.5, 0.75, 1.0});
+
+  bench::banner("EXP-T10",
+                "Theorem 10: DHC2 runs in O~(n^delta) rounds; denser graph => faster",
+                "p = c ln n / n^delta, c = " + support::Table::num(c, 1) +
+                    ", seeds = " + std::to_string(seeds));
+
+  support::Table table({"delta", "n", "K", "median rounds", "rounds/(n^d polylog)", "success"});
+  // rounds at the largest n per delta, for the denser-is-faster check.
+  std::vector<std::pair<double, double>> at_largest;
+  bool slopes_ok = true;
+  for (const double delta : deltas) {
+    std::vector<double> ns;
+    std::vector<double> rounds_series;
+    for (const auto size : sizes) {
+      const auto n = static_cast<graph::NodeId>(size);
+      // Skip combinations whose partitions are below the rotation
+      // algorithm's working size (EXP-P1).
+      if (std::pow(static_cast<double>(n), delta) < 22.0) continue;
+      // Large partitions need a larger density constant for one-shot whp
+      // success (EXP-P1: the practical threshold scales with partition
+      // size); δ = 1 is a single n-sized partition.
+      const double c_eff = (delta >= 0.999) ? std::max(c, 8.0) : c;
+      std::vector<double> rounds;
+      double colors = 0;
+      int successes = 0;
+      for (std::uint64_t s = 1; s <= seeds; ++s) {
+        const auto g = bench::make_instance(n, c_eff, delta, s + 100);
+        core::Dhc2Config cfg;
+        cfg.delta = delta;
+        const auto r = core::run_dhc2(g, s * 211 + 17, cfg);
+        colors = r.stat("num_colors");
+        if (!r.success) continue;
+        ++successes;
+        rounds.push_back(static_cast<double>(r.metrics.rounds));
+      }
+      if (rounds.empty()) continue;
+      const double med = support::quantile(rounds, 0.5);
+      const double normalized =
+          med / (std::pow(static_cast<double>(n), delta) *
+                 bench::polylog_factor(static_cast<double>(n)));
+      ns.push_back(static_cast<double>(n));
+      rounds_series.push_back(med);
+      if (size == sizes.back()) at_largest.emplace_back(delta, med);
+      table.add_row({support::Table::num(delta, 2),
+                     support::Table::num(static_cast<std::uint64_t>(n)),
+                     support::Table::num(colors, 0), support::Table::num(med, 0),
+                     support::Table::num(normalized, 3),
+                     std::to_string(successes) + "/" + std::to_string(seeds)});
+    }
+    if (ns.size() >= 2) {
+      const double slope = support::loglog_slope(ns, rounds_series);
+      std::cout << "  delta=" << support::Table::num(delta, 2)
+                << ": log-log slope of rounds vs n = " << support::Table::num(slope, 2)
+                << " (theory ~" << support::Table::num(delta, 2) << " + polylog drift)\n";
+      if (slope > delta + 0.55) slopes_ok = false;
+    }
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+
+  // Denser ⇒ faster: at the largest n, rounds must increase with δ (a 20%
+  // tolerance absorbs seed noise).
+  bool ordered = true;
+  for (std::size_t i = 1; i < at_largest.size(); ++i) {
+    ordered = ordered && (at_largest[i].second >= at_largest[i - 1].second * 0.8);
+  }
+  bench::verdict(slopes_ok && ordered,
+                 "per-delta scaling tracks n^delta and rounds grow with delta at fixed n "
+                 "(denser => faster, as the paper claims)");
+  return 0;
+}

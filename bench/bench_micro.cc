@@ -1,0 +1,93 @@
+// Micro-benchmarks (google-benchmark): the substrate's hot paths.
+//
+// These are engineering benchmarks, not paper experiments: generator
+// throughput (Batagelj–Brandes), verifier cost, treap rotations, and the
+// sequential solver — the pieces that bound how large the simulated
+// experiments can go.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/path_treap.h"
+#include "core/sequential.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/hamiltonian.h"
+
+namespace {
+
+using namespace dhc;
+
+void BM_GnpGeneration(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const double p = graph::edge_probability(n, 3.0, 0.5);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    support::Rng rng(seed++);
+    const auto g = graph::gnp(n, p, rng);
+    benchmark::DoNotOptimize(g.m());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GnpGeneration)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_VerifyCycleIncidence(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  support::Rng rng(7);
+  const auto g = graph::gnp(n, graph::edge_probability(n, 4.0, 1.0), rng);
+  // Build a planted cycle over a complete overlay to guarantee validity.
+  graph::CycleOrder order;
+  order.order.resize(n);
+  std::iota(order.order.begin(), order.order.end(), 0);
+  auto edges = g.edges();
+  const auto extra = graph::cycle_edges(order);
+  edges.insert(edges.end(), extra.begin(), extra.end());
+  const graph::Graph g2(n, edges);
+  const auto inc = graph::incidence_from_order(order);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::verify_cycle_incidence(g2, inc).ok());
+  }
+}
+BENCHMARK(BM_VerifyCycleIncidence)->Arg(1024)->Arg(8192);
+
+void BM_TreapRotations(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  core::PathTreap treap(n, 3);
+  for (graph::NodeId v = 0; v < n; ++v) treap.append(v);
+  support::Rng rng(5);
+  for (auto _ : state) {
+    const auto j = static_cast<std::uint32_t>(1 + rng.below(n - 1));
+    treap.rotate_suffix(j);
+    benchmark::DoNotOptimize(treap.at(n));
+  }
+}
+BENCHMARK(BM_TreapRotations)->Arg(1024)->Arg(65536);
+
+void BM_SequentialRotationSolver(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  support::Rng grng(11);
+  const auto g = graph::gnp(n, graph::edge_probability(n, 6.0, 1.0), grng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    support::Rng rng(seed++);
+    const auto r = core::rotation_hamiltonian_cycle(g, rng);
+    benchmark::DoNotOptimize(r.success);
+  }
+}
+BENCHMARK(BM_SequentialRotationSolver)->Arg(1024)->Arg(8192);
+
+void BM_BfsDiameter(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  support::Rng grng(13);
+  const auto g = graph::gnp(n, graph::edge_probability(n, 3.0, 1.0), grng);
+  support::Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::estimated_diameter(g, rng, 2));
+  }
+}
+BENCHMARK(BM_BfsDiameter)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// EXP-P1: success probability versus the density constant c.
+//
+// The paper proves whp success for c ≥ 86 (Theorem 2) — a proof constant.
+// This experiment charts where the rotation algorithm *actually* starts
+// working: per-attempt success of the step model vs c at several n, and the
+// distributed DRA with and without restarts.  Two reproduction findings are
+// quantified here: (a) the practical threshold is c ≈ 2–4, far below 86 but
+// clearly above the Hamiltonicity threshold c = 1; (b) per-attempt failure
+// at marginal densities is a small constant that restarts drive to zero.
+//
+// Flags: --n=..., --cs=..., --trials=N.
+#include "bench_util.h"
+
+#include "graph/algorithms.h"
+#include "core/dra.h"
+#include "core/sequential.h"
+
+int main(int argc, char** argv) {
+  using namespace dhc;
+  const support::Cli cli(argc, argv);
+  const auto trials = static_cast<std::uint64_t>(cli.get_int("trials", 30));
+  const auto n = static_cast<graph::NodeId>(cli.get_int("n", 1024));
+  const auto cs = cli.get_double_list("cs", {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0});
+
+  bench::banner("EXP-P1",
+                "Theorem 2 proves success whp at c >= 86; where does the algorithm really "
+                "start working?  (HC existence threshold is c = 1, Palmer [21])",
+                "n = " + std::to_string(n) + ", p = c ln n / n, trials = " +
+                    std::to_string(trials));
+
+  support::Table table({"c", "mean degree", "graph connected", "rotation (1 attempt)",
+                        "DRA + restarts"});
+  double first_reliable_c = -1.0;
+  for (const double c : cs) {
+    const double p = graph::edge_probability(n, c, 1.0);
+    std::uint64_t connected = 0;
+    std::uint64_t seq_ok = 0;
+    std::uint64_t dra_ok = 0;
+    // Distributed runs are pricier; sample fewer.
+    const std::uint64_t dra_trials = std::max<std::uint64_t>(trials / 3, 5);
+    for (std::uint64_t t = 1; t <= trials; ++t) {
+      support::Rng grng(t * 6151 + static_cast<std::uint64_t>(c * 1000));
+      const auto g = graph::gnp(n, p, grng);
+      if (graph::is_connected(g)) ++connected;
+      support::Rng arng(t * 131 + 7);
+      core::RotationConfig one_shot;
+      if (core::rotation_hamiltonian_cycle(g, arng, one_shot).success) ++seq_ok;
+      if (t <= dra_trials) {
+        core::DraConfig cfg;
+        const auto r = core::run_dra(g, t * 17 + 1, cfg);
+        if (r.success) ++dra_ok;
+      }
+    }
+    const double seq_rate = static_cast<double>(seq_ok) / static_cast<double>(trials);
+    const double dra_rate = static_cast<double>(dra_ok) / static_cast<double>(dra_trials);
+    if (first_reliable_c < 0 && seq_rate >= 0.95) first_reliable_c = c;
+    table.add_row({support::Table::num(c, 1),
+                   support::Table::num(p * (n - 1), 1),
+                   support::Table::num(static_cast<double>(connected) / static_cast<double>(trials), 2),
+                   support::Table::num(seq_rate, 2), support::Table::num(dra_rate, 2)});
+  }
+  table.print(std::cout);
+
+  bench::verdict(first_reliable_c > 1.0 && first_reliable_c <= 8.0,
+                 "sharp rise above the existence threshold; reliable from c ~ " +
+                     support::Table::num(first_reliable_c, 1) +
+                     " — far below the proof constant 86, and restarts close the gap at "
+                     "marginal c");
+  return 0;
+}

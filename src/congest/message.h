@@ -1,0 +1,51 @@
+// CONGEST-model messages.
+//
+// The CONGEST model (Peleg [23]; paper §I-A) allows each node to send one
+// O(log n)-bit message per incident edge per round.  We make that budget
+// concrete: a message carries up to kMaxWords payload words, where one word
+// is one Θ(log n)-bit field (a node id, an index, a size).  The bandwidth is
+// therefore B = kMaxWords·⌈log₂ n⌉ + O(1) bits, the standard allowance; the
+// network layer rejects attempts to push more than `edge_capacity` messages
+// onto one directed edge in one round, so model violations fail loudly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dhc::congest {
+
+using graph::NodeId;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Maximum payload words per message (each word ≈ one ⌈log₂ n⌉-bit field).
+inline constexpr std::size_t kMaxWords = 4;
+
+/// One CONGEST message.  `tag` identifies the protocol-level message type;
+/// `data[0..words)` are the payload fields.
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint16_t tag = 0;
+  std::uint16_t words = 0;
+  std::array<std::int64_t, kMaxWords> data{};
+
+  /// Convenience constructor: tag + up to kMaxWords payload words.
+  static Message make(std::uint16_t tag, std::initializer_list<std::int64_t> payload = {}) {
+    Message m;
+    m.tag = tag;
+    for (const std::int64_t w : payload) {
+      m.data[m.words++] = w;
+    }
+    return m;
+  }
+};
+
+/// Bits consumed by a message in a network of n nodes: words·⌈log₂ n⌉ plus a
+/// constant tag byte.  Used for the bit-complexity metrics (EXP-M1).
+std::uint64_t message_bits(const Message& msg, NodeId n);
+
+}  // namespace dhc::congest

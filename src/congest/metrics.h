@@ -1,0 +1,72 @@
+// Cost accounting for simulated CONGEST executions.
+//
+// The paper's claims are about rounds, message size, per-node memory, and
+// balanced local computation (§I, §I-A).  The simulator measures all of them
+// directly; the "fully distributed" property is an experiment (EXP-L1), not
+// an assertion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dhc::congest {
+
+/// Per-run cost measurements, populated by Network::run.
+struct Metrics {
+  /// Synchronous rounds executed (message rounds only; see barrier_count).
+  std::uint64_t rounds = 0;
+
+  /// Total messages delivered.
+  std::uint64_t messages = 0;
+
+  /// Total payload bits delivered (see message_bits()).
+  std::uint64_t bits = 0;
+
+  /// Number of global phase barriers the protocol used.  Each barrier models
+  /// a termination-detection convergecast + broadcast over a global BFS tree
+  /// and would cost O(D) rounds in a real deployment; report
+  /// rounds + barrier_count·barrier_cost_rounds for the conservative total.
+  std::uint64_t barrier_count = 0;
+
+  /// Round cost charged per barrier (2·BFS-tree depth once known; protocols
+  /// set it after building their tree, default small constant).
+  std::uint64_t barrier_cost_rounds = 4;
+
+  /// True when the run stopped because it hit the round limit.
+  bool hit_round_limit = false;
+
+  /// Per-node counts of messages sent (load-balance experiments).
+  std::vector<std::uint64_t> node_messages_sent;
+
+  /// Per-node counts of messages received.
+  std::vector<std::uint64_t> node_messages_received;
+
+  /// Per-node registered memory, in words, current and peak (charged
+  /// explicitly by protocols at allocation sites).
+  std::vector<std::int64_t> node_memory_words;
+  std::vector<std::int64_t> node_peak_memory_words;
+
+  /// Per-node local computation charge (unit: "operations").
+  std::vector<std::uint64_t> node_compute_ops;
+
+  /// Named phase boundaries: (phase label, first round of the phase).
+  std::vector<std::pair<std::string, std::uint64_t>> phase_marks;
+
+  /// rounds + barriers charged at barrier_cost_rounds each.
+  std::uint64_t accounted_rounds() const { return rounds + barrier_count * barrier_cost_rounds; }
+
+  /// Maximum over nodes of messages sent (congestion/load balance).
+  std::uint64_t max_node_messages_sent() const;
+
+  /// Maximum over nodes of peak registered memory.
+  std::int64_t max_node_peak_memory() const;
+
+  /// Maximum over nodes of compute charge.
+  std::uint64_t max_node_compute() const;
+
+  /// Rounds spent in the phase labelled `label` (to the next mark or end).
+  std::uint64_t phase_rounds(const std::string& label) const;
+};
+
+}  // namespace dhc::congest

@@ -1,0 +1,234 @@
+#include "congest/network.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "support/require.h"
+
+namespace dhc::congest {
+
+std::uint64_t message_bits(const Message& msg, NodeId n) {
+  // One word holds a node id (0..n-1), an index, or a size: ⌈log₂ n⌉ bits.
+  const std::uint64_t id_bits =
+      std::max<std::uint64_t>(1, std::bit_width(std::uint64_t{n > 0 ? n - 1 : 0}));
+  return msg.words * id_bits + 8;  // payload fields + tag byte
+}
+
+std::uint64_t Metrics::max_node_messages_sent() const {
+  std::uint64_t best = 0;
+  for (const auto x : node_messages_sent) best = std::max(best, x);
+  return best;
+}
+
+std::int64_t Metrics::max_node_peak_memory() const {
+  std::int64_t best = 0;
+  for (const auto x : node_peak_memory_words) best = std::max(best, x);
+  return best;
+}
+
+std::uint64_t Metrics::max_node_compute() const {
+  std::uint64_t best = 0;
+  for (const auto x : node_compute_ops) best = std::max(best, x);
+  return best;
+}
+
+std::uint64_t Metrics::phase_rounds(const std::string& label) const {
+  for (std::size_t i = 0; i < phase_marks.size(); ++i) {
+    if (phase_marks[i].first == label) {
+      const std::uint64_t begin = phase_marks[i].second;
+      const std::uint64_t end = (i + 1 < phase_marks.size()) ? phase_marks[i + 1].second : rounds + 1;
+      return end > begin ? end - begin : 0;
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+std::uint64_t Context::round() const { return net_.round_; }
+
+std::span<const NodeId> Context::neighbors() const { return net_.graph_->neighbors(self_); }
+
+std::span<const Message> Context::inbox() const { return net_.inboxes_[self_]; }
+
+void Context::send(NodeId to, Message msg) {
+  msg.from = self_;
+  msg.to = to;
+  net_.send_from(self_, to, msg);
+}
+
+void Context::wake_in(std::uint64_t delay) {
+  DHC_REQUIRE(delay >= 1, "wake_in delay must be at least 1 round");
+  net_.wakeups_[net_.round_ + delay].push_back(self_);
+}
+
+support::Rng& Context::rng() { return net_.node_rng(self_); }
+
+void Context::charge_memory(std::int64_t words) {
+  auto& mem = net_.metrics_.node_memory_words[self_];
+  mem += words;
+  auto& peak = net_.metrics_.node_peak_memory_words[self_];
+  peak = std::max(peak, mem);
+}
+
+void Context::charge_compute(std::uint64_t ops) { net_.metrics_.node_compute_ops[self_] += ops; }
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+Network::Network(const graph::Graph& g, NetworkConfig cfg) : graph_(&g), cfg_(cfg) {
+  DHC_REQUIRE(cfg_.edge_capacity >= 1, "edge_capacity must be at least 1");
+  const std::size_t n = g.n();
+  inboxes_.resize(n);
+  next_inboxes_.resize(n);
+  has_mail_.assign(n, 0);
+  // Directed-edge load table: one slot per (node, neighbor-index) pair.
+  std::size_t total_directed = 0;
+  for (NodeId v = 0; v < g.n(); ++v) total_directed += g.degree(v);
+  edge_load_.assign(total_directed, 0);
+  edge_load_round_.assign(total_directed, static_cast<std::uint64_t>(-1));
+  edge_offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < g.n(); ++v) edge_offsets_[v + 1] = edge_offsets_[v] + g.degree(v);
+
+  const support::Rng base(cfg_.seed);
+  rngs_.reserve(n);
+  for (NodeId v = 0; v < g.n(); ++v) rngs_.push_back(base.stream(v));
+}
+
+support::Rng& Network::node_rng(NodeId v) { return rngs_[v]; }
+
+void Network::send_from(NodeId from, NodeId to, Message msg) {
+  const auto nb = graph_->neighbors(from);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
+  if (it == nb.end() || *it != to) {
+    throw CongestViolation("node " + std::to_string(from) + " sent to non-neighbor " +
+                           std::to_string(to) + " in round " + std::to_string(round_));
+  }
+  const std::size_t edge_id =
+      edge_offsets_[from] + static_cast<std::size_t>(std::distance(nb.begin(), it));
+  if (edge_load_round_[edge_id] != round_) {
+    edge_load_round_[edge_id] = round_;
+    edge_load_[edge_id] = 0;
+  }
+  if (++edge_load_[edge_id] > cfg_.edge_capacity) {
+    std::string prior_tags;
+    for (const Message& queued : next_inboxes_[to]) {
+      if (queued.from == from) prior_tags += " " + std::to_string(queued.tag);
+    }
+    throw CongestViolation("edge (" + std::to_string(from) + "→" + std::to_string(to) +
+                           ") over capacity in round " + std::to_string(round_) +
+                           ": CONGEST allows " + std::to_string(cfg_.edge_capacity) +
+                           " message(s) per edge per round (new tag " + std::to_string(msg.tag) +
+                           ", queued tags:" + prior_tags + ")");
+  }
+  DHC_CHECK(msg.words <= kMaxWords, "message exceeds payload word limit");
+
+  metrics_.messages += 1;
+  metrics_.bits += message_bits(msg, graph_->n());
+  metrics_.node_messages_sent[from] += 1;
+  metrics_.node_messages_received[to] += 1;
+  if (cfg_.observer != nullptr) cfg_.observer->on_send(from, to, round_);
+
+  auto& box = next_inboxes_[to];
+  box.push_back(msg);
+  ++pending_messages_;
+  if (box.size() == 1) next_active_.push_back(to);
+}
+
+void Network::wake(NodeId v) {
+  DHC_REQUIRE(v < graph_->n(), "wake: node out of range");
+  wakeups_[round_ + 1].push_back(v);
+}
+
+void Network::wake_all() {
+  auto& bucket = wakeups_[round_ + 1];
+  for (NodeId v = 0; v < graph_->n(); ++v) bucket.push_back(v);
+}
+
+void Network::mark_phase(const std::string& label) {
+  metrics_.phase_marks.emplace_back(label, round_ + 1);
+}
+
+void Network::set_barrier_cost(std::uint64_t rounds_per_barrier) {
+  metrics_.barrier_cost_rounds = rounds_per_barrier;
+}
+
+Metrics Network::run(Protocol& protocol) {
+  const std::size_t n = graph_->n();
+  metrics_ = Metrics{};
+  metrics_.node_messages_sent.assign(n, 0);
+  metrics_.node_messages_received.assign(n, 0);
+  metrics_.node_memory_words.assign(n, 0);
+  metrics_.node_peak_memory_words.assign(n, 0);
+  metrics_.node_compute_ops.assign(n, 0);
+  round_ = 0;
+  protocol_ = &protocol;
+
+  for (NodeId v = 0; v < graph_->n(); ++v) {
+    Context ctx(*this, v);
+    protocol.begin(ctx);
+  }
+
+  while (true) {
+    if (pending_messages_ == 0 && wakeups_.empty()) {
+      if (!protocol.on_quiescence(*this)) break;
+      metrics_.barrier_count += 1;
+      DHC_CHECK(!wakeups_.empty(),
+                "protocol continued past quiescence without waking any node (would spin forever)");
+      continue;
+    }
+
+    // Advance to the next round with activity (idle gaps still count).
+    std::uint64_t next_round = round_ + 1;
+    if (pending_messages_ == 0) next_round = wakeups_.begin()->first;
+    round_ = next_round;
+    if (round_ > cfg_.max_rounds) {
+      metrics_.hit_round_limit = true;
+      break;
+    }
+
+    // Build this round's active set: nodes with mail + woken nodes.
+    active_.clear();
+    for (const NodeId v : next_active_) {
+      if (has_mail_[v] == 0) {
+        has_mail_[v] = 1;
+        active_.push_back(v);
+      }
+    }
+    next_active_.clear();
+    if (const auto it = wakeups_.find(round_); it != wakeups_.end()) {
+      for (const NodeId v : it->second) {
+        if (has_mail_[v] == 0) {
+          has_mail_[v] = 1;
+          active_.push_back(v);
+        }
+      }
+      wakeups_.erase(it);
+    }
+    std::sort(active_.begin(), active_.end());
+
+    // Deliver mail, run steps, then clear consumed inboxes.
+    for (const NodeId v : active_) {
+      inboxes_[v].swap(next_inboxes_[v]);
+      pending_messages_ -= inboxes_[v].size();
+    }
+    for (const NodeId v : active_) {
+      Context ctx(*this, v);
+      protocol.step(ctx);
+    }
+    for (const NodeId v : active_) {
+      inboxes_[v].clear();
+      has_mail_[v] = 0;
+    }
+  }
+
+  metrics_.rounds = round_;
+  protocol_ = nullptr;
+  return metrics_;
+}
+
+}  // namespace dhc::congest

@@ -1,0 +1,184 @@
+// Synchronous CONGEST network simulator.
+//
+// Executes a Protocol over a graph in discrete rounds (paper §I-A): messages
+// sent in round r are delivered at the start of round r+1; each directed
+// edge carries at most `edge_capacity` messages per round (violations
+// throw).  Scheduling is event-driven — only nodes holding freshly delivered
+// messages or armed wake-ups run — so simulation cost tracks message volume,
+// not n × rounds.
+//
+// Phase barriers: when the network goes quiescent (no messages in flight, no
+// wake-ups armed) the protocol's on_quiescence() hook runs; it can advance
+// to a new phase and wake nodes, or end the run.  Each such transition is
+// counted as a barrier in Metrics (it stands for a termination-detection
+// convergecast a real deployment would pay O(D) rounds for — see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "congest/message.h"
+#include "congest/metrics.h"
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace dhc::congest {
+
+/// Thrown when a protocol exceeds the CONGEST per-edge bandwidth, sends to a
+/// non-neighbor, or otherwise breaks the communication model.
+class CongestViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Optional tap on the message stream, e.g. to re-price an execution under
+/// a different cost model (the k-machine conversion of paper §IV).
+class MessageObserver {
+ public:
+  virtual ~MessageObserver() = default;
+  /// Called for every sent message with the round it was sent in.
+  virtual void on_send(NodeId from, NodeId to, std::uint64_t round) = 0;
+};
+
+struct NetworkConfig {
+  /// Messages allowed per directed edge per round (the paper's B; 1 is the
+  /// strict CONGEST setting used everywhere in libdhc).
+  std::uint32_t edge_capacity = 1;
+
+  /// Hard stop: abort the run after this many rounds (safety net; a run that
+  /// trips it reports hit_round_limit instead of looping forever).
+  std::uint64_t max_rounds = 50'000'000;
+
+  /// Seed from which all per-node RNG streams are derived.
+  std::uint64_t seed = 0;
+
+  /// Optional message tap (not owned; must outlive the run).
+  MessageObserver* observer = nullptr;
+};
+
+class Network;
+
+/// Per-node view handed to protocol code during a round.  Exposes only what
+/// a real node would have: its id, its neighbors, this round's inbox, its
+/// private RNG stream, and the ability to send to neighbors / schedule its
+/// own future wake-up.
+class Context {
+ public:
+  NodeId self() const { return self_; }
+  std::uint64_t round() const;
+  std::span<const NodeId> neighbors() const;
+  std::size_t degree() const { return neighbors().size(); }
+
+  /// Messages delivered to this node at the start of this round.
+  std::span<const Message> inbox() const;
+
+  /// Sends `msg` to neighbor `to` (delivered next round).  Throws
+  /// CongestViolation if `to` is not a neighbor or the edge is saturated.
+  void send(NodeId to, Message msg);
+
+  /// Arms a wake-up `delay` rounds from now (>= 1); the node's step() runs
+  /// in that round even with an empty inbox.
+  void wake_in(std::uint64_t delay);
+
+  /// This node's private RNG stream (deterministic per (seed, node)).
+  support::Rng& rng();
+
+  /// Registers `words` words of node-local memory (may be negative to
+  /// release); peak per node is reported in Metrics.
+  void charge_memory(std::int64_t words);
+
+  /// Charges local computation (unit: operations) for load-balance metrics.
+  void charge_compute(std::uint64_t ops);
+
+ private:
+  friend class Network;
+  Context(Network& net, NodeId self) : net_(net), self_(self) {}
+  Network& net_;
+  NodeId self_;
+};
+
+/// A distributed algorithm run by the Network.  Implementations hold all
+/// per-node state (indexed by NodeId) and must only touch state of the node
+/// whose Context they are given — that discipline is what makes the
+/// simulation faithful to a message-passing execution.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Called once per node before round 1 (round 0 setup).
+  virtual void begin(Context& ctx) = 0;
+
+  /// Called for every active node each round (nodes with inbox or wake-up).
+  virtual void step(Context& ctx) = 0;
+
+  /// Called when no messages are in flight and no wake-ups are armed.
+  /// Return true to continue (after waking nodes / advancing a phase);
+  /// false to end the run.  Default: end.
+  virtual bool on_quiescence(Network& net) {
+    (void)net;
+    return false;
+  }
+};
+
+/// The simulator.  Owns inboxes, wake-ups, and metrics for one run.
+class Network {
+ public:
+  Network(const graph::Graph& g, NetworkConfig cfg);
+
+  const graph::Graph& graph() const { return *graph_; }
+  NodeId n() const { return graph_->n(); }
+  std::uint64_t round() const { return round_; }
+
+  /// Runs `protocol` to quiescence (or the round limit) and returns metrics.
+  Metrics run(Protocol& protocol);
+
+  /// --- calls available to Protocol::on_quiescence ---
+
+  /// Wakes `v` in the next round.
+  void wake(NodeId v);
+
+  /// Wakes every node in the next round.
+  void wake_all();
+
+  /// Labels the upcoming rounds as a new phase (metrics bookkeeping).
+  void mark_phase(const std::string& label);
+
+  /// Sets the per-barrier round charge (e.g. 2·tree depth once known).
+  void set_barrier_cost(std::uint64_t rounds_per_barrier);
+
+  /// Metrics of the run in progress (valid during run()).
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  friend class Context;
+
+  void deliver_outbox();
+  void send_from(NodeId from, NodeId to, Message msg);
+  support::Rng& node_rng(NodeId v);
+
+  const graph::Graph* graph_;
+  NetworkConfig cfg_;
+  std::uint64_t round_ = 0;
+  Protocol* protocol_ = nullptr;
+
+  std::vector<std::vector<Message>> inboxes_;       // delivered this round
+  std::vector<std::vector<Message>> next_inboxes_;  // being filled
+  std::vector<std::uint32_t> edge_load_;            // per directed edge, this round
+  std::vector<std::uint64_t> edge_load_round_;      // round tag for lazy reset
+  std::vector<std::size_t> edge_offsets_;           // node -> first directed-edge id
+  std::size_t pending_messages_ = 0;                // undelivered message count
+  std::vector<NodeId> active_;                      // nodes to step this round
+  std::vector<std::uint8_t> has_mail_;              // dedup for next active set
+  std::vector<NodeId> next_active_;
+  std::map<std::uint64_t, std::vector<NodeId>> wakeups_;  // round -> nodes
+  std::vector<support::Rng> rngs_;
+  Metrics metrics_;
+};
+
+}  // namespace dhc::congest

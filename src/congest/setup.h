@@ -1,0 +1,110 @@
+// Group setup: leader election + BFS spanning tree + size/depth aggregation.
+//
+// Every algorithm in the paper needs this scaffolding before its real work:
+// DHC1/DHC2 Phase 1 run it per color class (partition leaders seed the
+// rotation algorithm and the tree carries rotation broadcasts), DHC1 Phase 2
+// and the Upcast algorithm run it globally.  The component is embedded in an
+// enclosing Protocol, which forwards step() calls and drives phase
+// advancement from its on_quiescence() hook:
+//
+//   Share  — every node tells its neighbors its group id (1 round; skipped
+//            when there is a single group),
+//   Elect  — min-id improvement flooding inside each group; quiesces with
+//            every node knowing its group's minimum id (the leader),
+//   Bfs    — leaders start a synchronous BFS; announcements carry (level,
+//            parent), so parents learn their children for free,
+//   Up     — convergecast of subtree sizes and max level to the leader,
+//   Down   — leaders broadcast (group size, tree depth) down the tree.
+//
+// Each phase ends at network quiescence.  Groups that are disconnected end
+// up with one leader/tree per connected component — detectable because the
+// component's size is smaller than the group; the enclosing algorithm
+// reports failure instead of hanging (failure injection tests rely on this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.h"
+
+namespace dhc::congest {
+
+class SetupComponent {
+ public:
+  /// Phases advance strictly in declaration order.
+  enum class Phase : std::uint8_t { kIdle, kShare, kElect, kBfs, kUp, kDown, kDone };
+
+  /// `group_of[v]` is v's group (color); communication stays inside groups.
+  /// `base_tag` reserves message tags base_tag..base_tag+3 for this component.
+  SetupComponent(NodeId n, std::uint16_t base_tag, std::vector<std::uint32_t> group_of);
+
+  /// Single-group convenience (global tree over the whole graph).
+  SetupComponent(NodeId n, std::uint16_t base_tag);
+
+  /// Runs this node's part of the current phase; call from Protocol::step for
+  /// every active node while !done().  Consumes only this component's tags.
+  void step(Context& ctx);
+
+  /// Advances to the next phase and wakes all nodes; call from
+  /// Protocol::on_quiescence while !done().
+  void advance(Network& net);
+
+  Phase phase() const { return phase_; }
+  bool done() const { return phase_ == Phase::kDone; }
+
+  /// --- results, valid once done() ---
+
+  /// The group leader v knows (its component's minimum id).
+  NodeId leader(NodeId v) const { return min_seen_[v]; }
+  bool is_leader(NodeId v) const { return min_seen_[v] == v; }
+
+  /// BFS tree: parent (kNoNode for leaders), children, level from leader.
+  NodeId parent(NodeId v) const { return parent_[v]; }
+  const std::vector<NodeId>& children(NodeId v) const { return children_[v]; }
+  std::uint32_t level(NodeId v) const { return level_[v]; }
+
+  /// Size of v's connected same-group component and depth of its BFS tree
+  /// (as broadcast by the leader in the Down phase).
+  std::uint32_t component_size(NodeId v) const { return comp_size_[v]; }
+  std::uint32_t tree_depth(NodeId v) const { return comp_depth_[v]; }
+
+  std::uint32_t group_of(NodeId v) const { return group_of_[v]; }
+
+  /// True if v and w are in the same group.
+  bool same_group(NodeId v, NodeId w) const { return group_of_[v] == group_of_[w]; }
+
+  /// Sends `msg` along every tree edge incident to v except `exclude`
+  /// (parent and children) — the building block for tree broadcasts from an
+  /// arbitrary origin, which reach every tree node within 2·depth rounds.
+  void forward_on_tree(Context& ctx, const Message& msg, NodeId exclude) const;
+
+ private:
+  void start_phase(Context& ctx);
+  void handle(Context& ctx, const Message& msg);
+  void announce_bfs(Context& ctx);
+  void maybe_send_up(Context& ctx);
+
+  std::uint16_t tag_share() const { return base_tag_; }
+  std::uint16_t tag_elect() const { return static_cast<std::uint16_t>(base_tag_ + 1); }
+  std::uint16_t tag_bfs() const { return static_cast<std::uint16_t>(base_tag_ + 2); }
+  std::uint16_t tag_up() const { return static_cast<std::uint16_t>(base_tag_ + 3); }
+  std::uint16_t tag_down() const { return static_cast<std::uint16_t>(base_tag_ + 4); }
+
+  std::uint16_t base_tag_;
+  Phase phase_ = Phase::kIdle;
+  bool multi_group_;
+
+  std::vector<std::uint32_t> group_of_;
+  std::vector<std::uint8_t> phase_seen_;  // last phase each node initialized
+  std::vector<NodeId> min_seen_;
+  std::vector<std::uint32_t> level_;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<std::uint32_t> up_reports_;
+  std::vector<std::uint32_t> up_size_;
+  std::vector<std::uint32_t> up_depth_;
+  std::vector<std::uint32_t> comp_size_;
+  std::vector<std::uint32_t> comp_depth_;
+};
+
+}  // namespace dhc::congest

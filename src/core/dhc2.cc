@@ -1,0 +1,626 @@
+#include "core/dhc2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "support/require.h"
+
+namespace dhc::core {
+
+using congest::Context;
+using congest::Message;
+using congest::Network;
+
+namespace {
+
+// Message tag offsets within the MergeEngine's tag block.
+constexpr std::uint16_t kVerify = 0;        // {w = succ(v)}                 v → u
+constexpr std::uint16_t kCheck = 1;         // {w, v}                        u → u′
+constexpr std::uint16_t kCheckReply = 2;    // {w, v, yes}                   u′ → u
+constexpr std::uint16_t kFound = 3;         // {u′, |C_j|}                   u → v
+constexpr std::uint16_t kCand = 4;          // {u, u′, v, |C_j|}             flood in C_i
+constexpr std::uint16_t kBuild = 5;         // {t, |C_i|, w, u′}             v → u
+constexpr std::uint16_t kBuildPartner = 6;  // {w}                           u → u′
+constexpr std::uint16_t kBuildCut = 7;      // {u′}                          v → succ(v)
+constexpr std::uint16_t kRenumI = 8;        // {t, |C_j|}                    flood in C_i
+constexpr std::uint16_t kRenumJ = 9;        // {t, q_u, side, |C_i|}         flood in C_j
+
+}  // namespace
+
+MergeEngine::MergeEngine(NodeId n, std::uint16_t base_tag, const congest::SetupComponent* setup,
+                         const DraComponent* dra, std::uint32_t num_colors, MergeStrategy strategy)
+    : n_(n), base_tag_(base_tag), setup_(setup), strategy_(strategy), num_colors_(num_colors) {
+  DHC_REQUIRE(setup != nullptr && dra != nullptr, "MergeEngine needs setup and DRA results");
+  total_levels_ = 0;
+  while ((1u << total_levels_) < num_colors_) ++total_levels_;
+
+  alive_.assign(n, 0);
+  pred_.assign(n, kNoNode);
+  succ_.assign(n, kNoNode);
+  cycindex_.assign(n, 0);
+  csize_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (dra->node_succeeded(v)) {
+      alive_[v] = 1;
+      pred_[v] = dra->path_pred(v);
+      succ_[v] = dra->path_succ(v);
+      cycindex_[v] = dra->cycle_index(v);
+      csize_[v] = setup->component_size(v);
+    }
+  }
+
+  level_seen_.assign(n, 0);
+  best_cand_.assign(n, {});
+  renum_done_.assign(n, 0);
+  bridge_endpoint_.assign(n, 0);
+  check_queue_.assign(n, {});
+  check_in_flight_.assign(n, 0);
+  cur_w_.assign(n, kNoNode);
+  cur_v_.assign(n, kNoNode);
+  reply_yes_succ_.assign(n, 0);
+  reply_yes_pred_.assign(n, 0);
+  reply_count_.assign(n, 0);
+  pending_kind_.assign(n, 0);
+  pending_round_.assign(n, 0);
+  pending_a_.assign(n, 0);
+  pending_b_.assign(n, 0);
+  pending_c_.assign(n, 0);
+  pending_d_.assign(n, 0);
+}
+
+std::uint32_t MergeEngine::cur_color(NodeId x) const {
+  // Initial colors are 1..K stored as group 0..K-1; after ℓ halvings the
+  // current color is ⌈c/2^ℓ⌉ = (group >> ℓ) + 1.
+  const std::uint32_t shift = levels_started_ == 0 ? 0 : levels_started_ - 1;
+  return (setup_->group_of(x) >> shift) + 1;
+}
+
+bool MergeEngine::flood_same_color(NodeId v, NodeId w) const { return cur_color(v) == cur_color(w); }
+
+void MergeEngine::start_level(Network& net) {
+  DHC_CHECK(levels_remaining(), "start_level called with no levels remaining");
+  ++levels_started_;
+  bridges_per_level_.push_back(0);
+  candidates_per_level_.push_back(0);
+  sub_phase_ = SubPhase::kDiscovery;
+  net.wake_all();
+}
+
+void MergeEngine::start_build(Network& net) {
+  sub_phase_ = SubPhase::kBuild;
+  net.wake_all();
+}
+
+void MergeEngine::ensure_level(Context& ctx) {
+  const NodeId x = ctx.self();
+  const std::uint32_t marker = levels_started_ * 2 + (sub_phase_ == SubPhase::kBuild ? 1 : 0);
+  if (level_seen_[x] == marker) return;
+  level_seen_[x] = marker;
+  if (sub_phase_ == SubPhase::kDiscovery) {
+    on_discovery_start(ctx);
+  } else {
+    on_build_start(ctx);
+  }
+}
+
+void MergeEngine::on_discovery_start(Context& ctx) {
+  const NodeId x = ctx.self();
+  best_cand_[x] = {};
+  renum_done_[x] = 0;
+  bridge_endpoint_[x] = 0;
+  check_queue_[x].clear();
+  check_in_flight_[x] = 0;
+  reply_count_[x] = 0;
+  pending_kind_[x] = 0;
+
+  // Active side (Alg. 3 lines 6–7): odd-colored cycles look for bridges to
+  // their even partner color.
+  if (alive_[x] == 0 || succ_[x] == kNoNode) return;
+  const std::uint32_t mine = cur_color(x);
+  if (mine % 2 == 0) return;
+  for (const NodeId w : ctx.neighbors()) {
+    if (cur_color(w) == mine + 1) {
+      ctx.send(w, Message::make(tag(kVerify), {succ_[x]}));
+      ++verify_messages_;
+    }
+  }
+}
+
+void MergeEngine::on_build_start(Context& ctx) {
+  const NodeId x = ctx.self();
+  const Candidate& cand = best_cand_[x];
+  if (alive_[x] == 0 || !cand.valid() || cand.v != x) return;
+  // This node's candidate won the in-partition minimum (Alg. 3 lines 11–12):
+  // build the bridge.
+  const auto t = cycindex_[x];
+  const auto s_i = csize_[x];
+  const NodeId w = succ_[x];
+  ctx.send(cand.u, Message::make(tag(kBuild), {t, s_i, w, cand.uprime}));
+  ctx.send(w, Message::make(tag(kBuildCut), {cand.uprime}));
+  // v's own link/size updates; index t is unchanged.
+  succ_[x] = cand.u;
+  csize_[x] = s_i + cand.partner_size;
+  renum_done_[x] = 1;
+  ++bridges_built_;
+  ++bridges_per_level_.back();
+  // The C_i renumber flood leaves next round (same-round sends to succ(v)
+  // would collide with kBuildCut on that edge).
+  pending_kind_[x] = 1;
+  pending_round_[x] = ctx.round();
+  pending_a_[x] = t;
+  pending_b_[x] = cand.partner_size;
+  ctx.wake_in(1);
+}
+
+void MergeEngine::improve_candidate(Context& ctx, const Candidate& cand) {
+  const NodeId x = ctx.self();
+  if (best_cand_[x].valid() && !(cand < best_cand_[x])) return;
+  best_cand_[x] = cand;
+  const Message msg = Message::make(
+      tag(kCand), {cand.u, cand.uprime, cand.v, static_cast<std::int64_t>(cand.partner_size)});
+  for (const NodeId w : ctx.neighbors()) {
+    if (flood_same_color(x, w)) ctx.send(w, msg);
+  }
+}
+
+void MergeEngine::apply_renum_i(Context& ctx, std::uint32_t t, std::uint32_t sj) {
+  const NodeId x = ctx.self();
+  if (alive_[x] == 0) return;
+  if (cycindex_[x] > t) cycindex_[x] += sj;
+  csize_[x] += sj;
+  ctx.charge_compute(1);
+}
+
+void MergeEngine::apply_renum_j(Context& ctx, std::uint32_t t, std::uint32_t qu, bool side_succ,
+                                std::uint32_t si) {
+  const NodeId x = ctx.self();
+  if (alive_[x] == 0) return;
+  const std::uint32_t sj = csize_[x];
+  const std::uint32_t qx = cycindex_[x];
+  // New index: t + 1 + d where d walks C_j from u in the traversal
+  // direction (away from the cut edge); covers the endpoints too.
+  const std::uint64_t diff = side_succ
+                                 ? (static_cast<std::uint64_t>(qu) + sj - qx) % sj
+                                 : (static_cast<std::uint64_t>(qx) + sj - qu) % sj;
+  cycindex_[x] = t + 1 + static_cast<std::uint32_t>(diff);
+  csize_[x] = si + sj;
+  if (side_succ && bridge_endpoint_[x] == 0) {
+    std::swap(pred_[x], succ_[x]);
+  }
+  ctx.charge_compute(1);
+}
+
+void MergeEngine::process_check_queue(Context& ctx) {
+  const NodeId x = ctx.self();
+  if (alive_[x] == 0 || renum_done_[x] != 0 || bridge_endpoint_[x] != 0) return;
+  if (check_in_flight_[x] != 0 || check_queue_[x].empty()) return;
+  const auto [w, v] = check_queue_[x].front();
+  check_queue_[x].erase(check_queue_[x].begin());
+  ctx.charge_memory(-2);
+  check_in_flight_[x] = 1;
+  cur_w_[x] = w;
+  cur_v_[x] = v;
+  reply_yes_succ_[x] = 0;
+  reply_yes_pred_[x] = 0;
+  reply_count_[x] = 0;
+  // Ask both cycle neighbors whether they are adjacent to w (Alg. 3 line 15).
+  ctx.send(succ_[x], Message::make(tag(kCheck), {w, v}));
+  ctx.send(pred_[x], Message::make(tag(kCheck), {w, v}));
+}
+
+void MergeEngine::step(Context& ctx) {
+  const NodeId x = ctx.self();
+  ensure_level(ctx);
+
+  // Pass 1: build/renumber traffic.  Renumber state must settle before the
+  // check queue fires again, or queue messages would collide with flood
+  // forwards on cycle edges.
+  for (const Message& msg : ctx.inbox()) {
+    if (msg.tag < base_tag_ || msg.tag > tag(kRenumJ)) continue;
+    const auto off = static_cast<std::uint16_t>(msg.tag - base_tag_);
+    if (off == kBuild || off == kBuildPartner || off == kBuildCut || off == kRenumI ||
+        off == kRenumJ) {
+      handle_message(ctx, msg);
+    }
+  }
+  // Pass 2: discovery traffic; candidate improvements are folded so the
+  // flood forwards at most once per round (CONGEST capacity).
+  Candidate incoming;
+  NodeId min_verify_w = kNoNode;
+  NodeId min_verify_v = kNoNode;
+  for (const Message& msg : ctx.inbox()) {
+    if (msg.tag < base_tag_ || msg.tag > tag(kRenumJ)) continue;
+    const auto off = static_cast<std::uint16_t>(msg.tag - base_tag_);
+    switch (off) {
+      case kVerify: {
+        if (alive_[x] == 0 || succ_[x] == kNoNode) break;
+        const auto w = static_cast<NodeId>(msg.data[0]);
+        if (strategy_ == MergeStrategy::kFullQueue) {
+          check_queue_[x].emplace_back(w, msg.from);
+          ctx.charge_memory(2);
+        } else if (min_verify_w == kNoNode || w < min_verify_w ||
+                   (w == min_verify_w && msg.from < min_verify_v)) {
+          min_verify_w = w;
+          min_verify_v = msg.from;
+        }
+        break;
+      }
+      case kCheck: {
+        const auto w = static_cast<NodeId>(msg.data[0]);
+        const bool yes = std::binary_search(ctx.neighbors().begin(), ctx.neighbors().end(), w);
+        ctx.charge_compute(1);
+        ctx.send(msg.from, Message::make(tag(kCheckReply), {w, msg.data[1], yes ? 1 : 0}));
+        break;
+      }
+      case kCheckReply: {
+        if (check_in_flight_[x] == 0) break;
+        if (static_cast<NodeId>(msg.data[0]) != cur_w_[x] ||
+            static_cast<NodeId>(msg.data[1]) != cur_v_[x]) {
+          break;
+        }
+        reply_count_[x] += 1;
+        if (msg.data[2] != 0) {
+          if (msg.from == succ_[x]) reply_yes_succ_[x] = 1;
+          if (msg.from == pred_[x]) reply_yes_pred_[x] = 1;
+        }
+        break;
+      }
+      case kFound: {
+        Candidate cand;
+        cand.u = msg.from;
+        cand.uprime = static_cast<NodeId>(msg.data[0]);
+        cand.v = x;
+        cand.partner_size = static_cast<std::uint32_t>(msg.data[1]);
+        if (!incoming.valid() || cand < incoming) incoming = cand;
+        ++candidates_found_;
+        ++candidates_per_level_.back();
+        break;
+      }
+      case kCand: {
+        Candidate cand;
+        cand.u = static_cast<NodeId>(msg.data[0]);
+        cand.uprime = static_cast<NodeId>(msg.data[1]);
+        cand.v = static_cast<NodeId>(msg.data[2]);
+        cand.partner_size = static_cast<std::uint32_t>(msg.data[3]);
+        if (!incoming.valid() || cand < incoming) incoming = cand;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  if (min_verify_w != kNoNode) {
+    // kMinForward: only the minimum (w, v) pair is checked (DESIGN.md §2.2).
+    check_queue_[x].emplace_back(min_verify_w, min_verify_v);
+    ctx.charge_memory(2);
+  }
+  if (incoming.valid()) improve_candidate(ctx, incoming);
+
+  // Completed adjacency checks produce a confirmed bridge for v.
+  if (check_in_flight_[x] != 0 && reply_count_[x] >= 2) {
+    check_in_flight_[x] = 0;
+    NodeId uprime = kNoNode;
+    if (reply_yes_succ_[x] != 0) {
+      uprime = succ_[x];  // paper line 16 prefers succ(v)
+    } else if (reply_yes_pred_[x] != 0) {
+      uprime = pred_[x];
+    }
+    if (uprime != kNoNode) {
+      ctx.send(cur_v_[x], Message::make(tag(kFound),
+                                        {uprime, static_cast<std::int64_t>(csize_[x])}));
+    }
+  }
+
+  // Deferred renumber floods (kept a round apart from the build messages
+  // that share cycle edges).
+  if (pending_kind_[x] != 0 && ctx.round() > pending_round_[x]) {
+    Message msg;
+    if (pending_kind_[x] == 1) {
+      msg = Message::make(tag(kRenumI), {pending_a_[x], pending_b_[x]});
+    } else {
+      msg = Message::make(tag(kRenumJ),
+                          {pending_a_[x], pending_b_[x], pending_c_[x], pending_d_[x]});
+    }
+    pending_kind_[x] = 0;
+    for (const NodeId w : ctx.neighbors()) {
+      if (flood_same_color(x, w)) ctx.send(w, msg);
+    }
+  }
+
+  process_check_queue(ctx);
+  if (!check_queue_[x].empty() && check_in_flight_[x] == 0) ctx.wake_in(1);
+}
+
+void MergeEngine::handle_message(Context& ctx, const Message& msg) {
+  const NodeId x = ctx.self();
+  const auto off = static_cast<std::uint16_t>(msg.tag - base_tag_);
+  switch (off) {
+    case kBuild: {
+      if (alive_[x] == 0 || bridge_endpoint_[x] != 0 || renum_done_[x] != 0) break;
+      const auto t = static_cast<std::uint32_t>(msg.data[0]);
+      const auto s_i = static_cast<std::uint32_t>(msg.data[1]);
+      const auto w = static_cast<NodeId>(msg.data[2]);
+      const auto uprime = static_cast<NodeId>(msg.data[3]);
+      if (uprime != succ_[x] && uprime != pred_[x]) break;  // stale/corrupt
+      const bool side_succ = (uprime == succ_[x]);
+      const std::uint32_t q_u = cycindex_[x];
+      const std::uint32_t s_j = csize_[x];
+      // u's links: predecessor is v, successor is the remaining old cycle
+      // neighbor (the cut edge (u, u′) disappears from the cycle).
+      const NodeId other = side_succ ? pred_[x] : succ_[x];
+      pred_[x] = msg.from;
+      succ_[x] = other;
+      cycindex_[x] = t + 1;
+      csize_[x] = s_i + s_j;
+      bridge_endpoint_[x] = 1;
+      renum_done_[x] = 1;
+      ctx.send(uprime, Message::make(tag(kBuildPartner), {w}));
+      // C_j's renumber flood goes out next round (this round's edge to u′
+      // carries kBuildPartner).
+      pending_kind_[x] = 2;
+      pending_round_[x] = ctx.round();
+      pending_a_[x] = t;
+      pending_b_[x] = q_u;
+      pending_c_[x] = side_succ ? 1 : 0;
+      pending_d_[x] = s_i;
+      ctx.wake_in(1);
+      break;
+    }
+    case kBuildPartner: {
+      if (alive_[x] == 0 || bridge_endpoint_[x] != 0) break;
+      const auto w = static_cast<NodeId>(msg.data[0]);
+      // u′'s successor becomes succ(v) (= w); its predecessor is the
+      // remaining old neighbor (the cut edge (u, u′) disappears).
+      const NodeId other = (pred_[x] == msg.from) ? succ_[x] : pred_[x];
+      pred_[x] = other;
+      succ_[x] = w;
+      bridge_endpoint_[x] = 1;
+      break;
+    }
+    case kBuildCut: {
+      if (alive_[x] == 0) break;
+      const auto uprime = static_cast<NodeId>(msg.data[0]);
+      // succ(v)'s predecessor becomes u′ (the edge (v, succ v) is cut).
+      if (pred_[x] == msg.from) {
+        pred_[x] = uprime;
+      } else if (succ_[x] == msg.from) {
+        succ_[x] = uprime;
+      }
+      break;
+    }
+    case kRenumI: {
+      if (renum_done_[x] != 0) break;
+      renum_done_[x] = 1;
+      for (const NodeId w : ctx.neighbors()) {
+        if (w != msg.from && flood_same_color(x, w)) ctx.send(w, msg);
+      }
+      apply_renum_i(ctx, static_cast<std::uint32_t>(msg.data[0]),
+                    static_cast<std::uint32_t>(msg.data[1]));
+      break;
+    }
+    case kRenumJ: {
+      if (renum_done_[x] != 0) break;
+      renum_done_[x] = 1;
+      for (const NodeId w : ctx.neighbors()) {
+        if (w != msg.from && flood_same_color(x, w)) ctx.send(w, msg);
+      }
+      apply_renum_j(ctx, static_cast<std::uint32_t>(msg.data[0]),
+                    static_cast<std::uint32_t>(msg.data[1]), msg.data[2] != 0,
+                    static_cast<std::uint32_t>(msg.data[3]));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+graph::CycleIncidence MergeEngine::incidence() const {
+  graph::CycleIncidence inc;
+  inc.neighbors_of.resize(n_);
+  for (NodeId v = 0; v < n_; ++v) inc.neighbors_of[v] = {pred_[v], succ_[v]};
+  return inc;
+}
+
+// ---------------------------------------------------------------------------
+// DHC2 protocol
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Dhc2Protocol : public congest::Protocol {
+ public:
+  Dhc2Protocol(NodeId n, std::uint32_t num_colors, const Dhc2Config& cfg)
+      : n_(n), num_colors_(num_colors), cfg_(cfg), colors_(n, 0) {}
+
+  void begin(Context& ctx) override {
+    // Paper Alg. 2 line 6: every node draws a uniform random color.
+    colors_[ctx.self()] = static_cast<std::uint32_t>(ctx.rng().below(num_colors_));
+  }
+
+  void step(Context& ctx) override {
+    switch (stage_) {
+      case Stage::kGlobalSetup:
+        global_setup_->step(ctx);
+        break;
+      case Stage::kPartitionSetup:
+        partition_setup_->step(ctx);
+        break;
+      case Stage::kDra:
+        dra_->step(ctx);
+        break;
+      case Stage::kMergeDiscovery:
+      case Stage::kMergeBuild:
+        merge_->step(ctx);
+        break;
+      case Stage::kInit:
+      case Stage::kDone:
+        break;
+    }
+  }
+
+  bool on_quiescence(Network& net) override {
+    switch (stage_) {
+      case Stage::kInit:
+        global_setup_.emplace(n_, /*base_tag=*/1);
+        net.mark_phase("global_setup");
+        stage_ = Stage::kGlobalSetup;
+        global_setup_->advance(net);
+        return true;
+      case Stage::kGlobalSetup:
+        global_setup_->advance(net);
+        if (global_setup_->done()) {
+          // The global BFS tree prices the phase barriers (termination
+          // detection = convergecast + broadcast over it).
+          net.set_barrier_cost(2ULL * global_setup_->tree_depth(0) + 2);
+          partition_setup_.emplace(n_, /*base_tag=*/8, colors_);
+          net.mark_phase("partition_setup");
+          stage_ = Stage::kPartitionSetup;
+          partition_setup_->advance(net);
+        }
+        return true;
+      case Stage::kPartitionSetup:
+        partition_setup_->advance(net);
+        if (partition_setup_->done()) {
+          dra_.emplace(n_, /*base_tag=*/16, &*partition_setup_, cfg_.dra);
+          net.mark_phase("dra");
+          stage_ = Stage::kDra;
+          dra_->start(net);
+        }
+        return true;
+      case Stage::kDra:
+        if (!dra_->all_succeeded()) {
+          failure_ = "Phase 1 failed: " + std::to_string(dra_->aborted_groups()) +
+                     " partition(s) aborted";
+          stage_ = Stage::kDone;
+          return false;
+        }
+        if (num_colors_ == 1) {
+          stage_ = Stage::kDone;
+          return false;  // δ = 1: the single partition's cycle is the answer
+        }
+        merge_.emplace(n_, /*base_tag=*/32, &*partition_setup_, &*dra_, num_colors_,
+                       cfg_.merge_strategy);
+        net.mark_phase("merge");
+        stage_ = Stage::kMergeDiscovery;
+        merge_->start_level(net);
+        return true;
+      case Stage::kMergeDiscovery:
+        stage_ = Stage::kMergeBuild;
+        merge_->start_build(net);
+        return true;
+      case Stage::kMergeBuild:
+        if (merge_->levels_remaining()) {
+          stage_ = Stage::kMergeDiscovery;
+          merge_->start_level(net);
+          return true;
+        }
+        stage_ = Stage::kDone;
+        return false;
+      case Stage::kDone:
+        return false;
+    }
+    return false;
+  }
+
+  enum class Stage {
+    kInit,
+    kGlobalSetup,
+    kPartitionSetup,
+    kDra,
+    kMergeDiscovery,
+    kMergeBuild,
+    kDone
+  };
+
+  NodeId n_;
+  std::uint32_t num_colors_;
+  Dhc2Config cfg_;
+  std::vector<std::uint32_t> colors_;
+  Stage stage_ = Stage::kInit;
+  std::string failure_;
+  std::optional<congest::SetupComponent> global_setup_;
+  std::optional<congest::SetupComponent> partition_setup_;
+  std::optional<DraComponent> dra_;
+  std::optional<MergeEngine> merge_;
+};
+
+}  // namespace
+
+Result run_dhc2(const graph::Graph& g, std::uint64_t seed, const Dhc2Config& cfg) {
+  Result result;
+  const NodeId n = g.n();
+  if (n < 3) {
+    result.failure_reason = "graph has fewer than 3 nodes";
+    return result;
+  }
+  DHC_REQUIRE(cfg.delta > 0.0 && cfg.delta <= 1.0, "delta must lie in (0, 1]");
+
+  // K ≈ n^{1−δ} partitions of expected size n^δ (paper §II-B).
+  std::uint32_t num_colors = cfg.num_colors_override;
+  if (num_colors == 0) {
+    num_colors = static_cast<std::uint32_t>(
+        std::llround(std::pow(static_cast<double>(n), 1.0 - cfg.delta)));
+    num_colors = std::max<std::uint32_t>(num_colors, 1);
+  }
+
+  congest::NetworkConfig net_cfg;
+  net_cfg.seed = seed;
+  net_cfg.observer = cfg.observer;
+  congest::Network net(g, net_cfg);
+  Dhc2Protocol protocol(n, num_colors, cfg);
+  result.metrics = net.run(protocol);
+
+  result.stats["num_colors"] = static_cast<double>(num_colors);
+  result.stats["dra_steps"] =
+      protocol.dra_ ? static_cast<double>(protocol.dra_->max_group_steps()) : 0.0;
+  result.stats["aborted_partitions"] =
+      protocol.dra_ ? static_cast<double>(protocol.dra_->aborted_groups()) : 0.0;
+  if (protocol.dra_) {
+    result.stats["starved_aborts"] = static_cast<double>(protocol.dra_->starved_aborts());
+    result.stats["budget_aborts"] = static_cast<double>(protocol.dra_->budget_aborts());
+    result.stats["tiny_aborts"] = static_cast<double>(protocol.dra_->tiny_aborts());
+    result.stats["dra_rotations"] = static_cast<double>(protocol.dra_->total_rotations());
+    result.stats["dra_extensions"] = static_cast<double>(protocol.dra_->total_extensions());
+    result.stats["dra_restarts"] = static_cast<double>(protocol.dra_->restarts());
+  }
+  if (protocol.merge_) {
+    result.stats["merge_levels"] = static_cast<double>(protocol.merge_->total_levels());
+    result.stats["bridges_built"] = static_cast<double>(protocol.merge_->bridges_built());
+    result.stats["verify_messages"] = static_cast<double>(protocol.merge_->verify_messages());
+    result.stats["candidates_found"] = static_cast<double>(protocol.merge_->candidates_found());
+    auto& bridges = result.series["bridges_per_level"];
+    for (const auto b : protocol.merge_->bridges_per_level()) {
+      bridges.push_back(static_cast<double>(b));
+    }
+    auto& cands = result.series["candidates_per_level"];
+    for (const auto c : protocol.merge_->candidates_per_level()) {
+      cands.push_back(static_cast<double>(c));
+    }
+  }
+  if (protocol.global_setup_) {
+    result.stats["global_tree_depth"] =
+        static_cast<double>(protocol.global_setup_->tree_depth(0));
+  }
+
+  if (result.metrics.hit_round_limit) {
+    result.failure_reason = "round limit exceeded";
+    return result;
+  }
+  if (!protocol.failure_.empty()) {
+    result.failure_reason = protocol.failure_;
+    return result;
+  }
+
+  result.cycle = protocol.merge_ ? protocol.merge_->incidence() : protocol.dra_->incidence();
+  const auto verdict = graph::verify_cycle_incidence(g, result.cycle);
+  if (!verdict.ok()) {
+    result.failure_reason = "final cycle invalid: " + *verdict.failure;
+    return result;
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace dhc::core

@@ -1,0 +1,179 @@
+// DHC2 — Distributed Hamiltonian Cycle Algorithm 2 (paper §II-B, Alg. 3).
+//
+// Works on G(n, p) with p = c·ln n / n^δ for any δ ∈ (0, 1]:
+//
+//  Phase 1  Every node draws a uniform color in [1..K], K ≈ n^{1−δ}; each
+//           color class (expected size n^δ, concentrated by Lemma 7) runs
+//           the Distributed Rotation Algorithm in parallel and produces a
+//           sub-Hamiltonian-cycle.
+//
+//  Phase 2  ⌈log₂ K⌉ merge levels (Fig. 3): at each level cycles with
+//           consecutive colors (odd c, c+1) merge over a *bridge* — cycle
+//           edges (v, succ v) ∈ C_i and (u, u′) ∈ C_j joined by physical
+//           edges (v, u) and (succ v, u′).  Discovery: active nodes send
+//           verify(succ v) to color-(c+1) neighbors; a passive u asks its
+//           cycle neighbors whether they see succ v (Alg. 3 lines 14–16);
+//           confirmed bridges flow back to v and the minimum candidate is
+//           agreed by improvement-flooding inside C_i.  The winner builds
+//           the bridge and both cycles renumber via two floods — every node
+//           recomputes its index locally from (t, q_u, side, sizes), the
+//           distributed analogue of the paper's "trivial renumbering".
+//           Colors halve (color ← ⌈color/2⌉) and the next level begins.
+//
+// Model notes (see DESIGN.md §2): verify bursts serialize on cycle edges in
+// the CONGEST model, which the paper's constant-round-merge accounting
+// glosses over.  MergeStrategy::kMinForward checks only each passive node's
+// minimum candidate (constant rounds per merge, the cost Theorem 10
+// assumes); kFullQueue serializes the full queue (the literal Alg. 3,
+// stronger success probability, Θ(p·|C|) rounds at late levels).  EXP-A3
+// measures the gap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "congest/network.h"
+#include "congest/setup.h"
+#include "core/dra.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace dhc::core {
+
+enum class MergeStrategy : std::uint8_t { kMinForward, kFullQueue };
+
+struct Dhc2Config {
+  /// Density exponent δ: the graph is expected to have p ≈ c·ln n / n^δ.
+  /// Partitions number K ≈ n^{1−δ}.  δ = 1 means a single partition (pure
+  /// DRA); δ = 0.5 reproduces DHC1's Phase-1 geometry.
+  double delta = 0.5;
+
+  /// Overrides the partition count when nonzero (used by tests/ablations).
+  std::uint32_t num_colors_override = 0;
+
+  MergeStrategy merge_strategy = MergeStrategy::kMinForward;
+  DraConfig dra;
+
+  /// Optional message tap for alternative cost models (k-machine, §IV).
+  congest::MessageObserver* observer = nullptr;
+};
+
+/// The Phase-2 merge engine; embedded in the DHC2 protocol and driven
+/// through (discovery, build) sub-phase pairs per level.
+class MergeEngine {
+ public:
+  /// `setup` groups must hold color0-1 per node; `dra` must be finished and
+  /// fully successful.  Uses message tags base_tag..base_tag+10.
+  MergeEngine(NodeId n, std::uint16_t base_tag, const congest::SetupComponent* setup,
+              const DraComponent* dra, std::uint32_t num_colors, MergeStrategy strategy);
+
+  std::uint32_t total_levels() const { return total_levels_; }
+  std::uint32_t levels_started() const { return levels_started_; }
+  bool levels_remaining() const { return levels_started_ < total_levels_; }
+
+  /// Starts the next level's discovery sub-phase (wakes everyone).
+  void start_level(congest::Network& net);
+
+  /// Starts the current level's build sub-phase (wakes everyone).
+  void start_build(congest::Network& net);
+
+  void step(congest::Context& ctx);
+
+  /// Final per-node incidence after all levels (paper output convention).
+  graph::CycleIncidence incidence() const;
+
+  /// True when node 0's cycle spans all n nodes (cheap final sanity check;
+  /// callers still run the full verifier).
+  bool spanning_cycle_claimed() const { return csize_[0] == n_; }
+
+  std::uint64_t bridges_built() const { return bridges_built_; }
+  std::uint64_t candidates_found() const { return candidates_found_; }
+  std::uint64_t verify_messages() const { return verify_messages_; }
+
+  /// Per-level breakdown (index 0 = first merge level; Fig. 3 / EXP-L8).
+  const std::vector<std::uint64_t>& bridges_per_level() const { return bridges_per_level_; }
+  const std::vector<std::uint64_t>& candidates_per_level() const { return candidates_per_level_; }
+
+ private:
+  struct Candidate {
+    NodeId u = kNoNode;
+    NodeId uprime = kNoNode;
+    NodeId v = kNoNode;
+    std::uint32_t partner_size = 0;
+    bool valid() const { return u != kNoNode; }
+    /// Paper Alg. 3 line 11: the minimum candidate wins.
+    bool operator<(const Candidate& o) const {
+      if (u != o.u) return u < o.u;
+      if (uprime != o.uprime) return uprime < o.uprime;
+      return v < o.v;
+    }
+  };
+
+  enum class SubPhase : std::uint8_t { kDiscovery, kBuild };
+
+  std::uint16_t tag(std::uint16_t off) const { return static_cast<std::uint16_t>(base_tag_ + off); }
+  // 0 verify, 1 check, 2 checkReply, 3 found, 4 cand, 5 build,
+  // 6 buildPartner, 7 buildCut, 8 renumI, 9 renumJ
+
+  std::uint32_t cur_color(NodeId x) const;
+  bool flood_same_color(NodeId v, NodeId w) const;
+  void ensure_level(congest::Context& ctx);
+  void on_discovery_start(congest::Context& ctx);
+  void on_build_start(congest::Context& ctx);
+  void process_check_queue(congest::Context& ctx);
+  void handle_message(congest::Context& ctx, const congest::Message& msg);
+  void improve_candidate(congest::Context& ctx, const Candidate& cand);
+  void apply_renum_i(congest::Context& ctx, std::uint32_t t, std::uint32_t sj);
+  void apply_renum_j(congest::Context& ctx, std::uint32_t t, std::uint32_t qu, bool side_succ,
+                     std::uint32_t si);
+
+  NodeId n_;
+  std::uint16_t base_tag_;
+  const congest::SetupComponent* setup_;
+  MergeStrategy strategy_;
+  std::uint32_t num_colors_;
+  std::uint32_t total_levels_ = 0;
+  std::uint32_t levels_started_ = 0;
+  SubPhase sub_phase_ = SubPhase::kDiscovery;
+
+  // Cycle state (seeded from Phase 1, rewritten by merges).
+  std::vector<std::uint8_t> alive_;
+  std::vector<NodeId> pred_;
+  std::vector<NodeId> succ_;
+  std::vector<std::uint32_t> cycindex_;
+  std::vector<std::uint32_t> csize_;
+
+  // Level-local state.
+  std::vector<std::uint32_t> level_seen_;   // (level*2 + subphase) marker
+  std::vector<Candidate> best_cand_;
+  std::vector<std::uint8_t> renum_done_;
+  std::vector<std::uint8_t> bridge_endpoint_;
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> check_queue_;  // (w, v)
+  std::vector<std::uint8_t> check_in_flight_;
+  std::vector<NodeId> cur_w_;
+  std::vector<NodeId> cur_v_;
+  std::vector<std::uint8_t> reply_yes_succ_;
+  std::vector<std::uint8_t> reply_yes_pred_;
+  std::vector<std::uint8_t> reply_count_;
+  // Deferred flood emissions: kind 0 = none, 1 = kRenumI, 2 = kRenumJ.
+  std::vector<std::uint8_t> pending_kind_;
+  std::vector<std::uint64_t> pending_round_;
+  std::vector<std::int64_t> pending_a_;
+  std::vector<std::int64_t> pending_b_;
+  std::vector<std::int64_t> pending_c_;
+  std::vector<std::int64_t> pending_d_;
+
+  std::uint64_t bridges_built_ = 0;
+  std::uint64_t candidates_found_ = 0;
+  std::uint64_t verify_messages_ = 0;
+  std::vector<std::uint64_t> bridges_per_level_;
+  std::vector<std::uint64_t> candidates_per_level_;
+};
+
+/// Runs DHC2 end to end on `g`.  On success the returned cycle is in the
+/// per-node incident-edge form; callers should verify it against `g`.
+/// Stats include phase rounds, merge levels, bridges, and step counts.
+Result run_dhc2(const graph::Graph& g, std::uint64_t seed, const Dhc2Config& cfg = {});
+
+}  // namespace dhc::core

@@ -1,0 +1,44 @@
+// Distributed output verification.
+//
+// The paper's output convention leaves each node knowing its two cycle
+// edges — but a deployment should not have to trust the solver.  This
+// protocol checks the claim *in the CONGEST model itself*:
+//
+//   1. neighbor agreement (1 round): every node tells its two claimed cycle
+//      neighbors; a node whose claims are not mirrored raises an alarm;
+//   2. token walk (≤ n+1 rounds): the global leader (from a BFS-tree setup)
+//      launches a token along the claimed cycle carrying a hop counter; a
+//      node visited twice, a dead end, or a counter mismatch at the leader
+//      rejects; the token returning to the leader after exactly n hops
+//      accepts;
+//   3. verdict broadcast (O(depth) rounds): the leader announces the
+//      verdict over the BFS tree; alarms raised in step 1 override.
+//
+// Total: O(n) rounds — the same order as the trivial CONGEST bound, which
+// is optimal for exact verification of a single cycle by token traversal,
+// and entirely bandwidth-legal.  Used by tests as an in-model cross-check
+// of the offline verifier.
+#pragma once
+
+#include "congest/network.h"
+#include "core/result.h"
+#include "graph/graph.h"
+#include "graph/hamiltonian.h"
+
+namespace dhc::core {
+
+struct DistributedVerifyResult {
+  bool accepted = false;
+  std::string reason;             // set when rejected
+  congest::Metrics metrics;
+};
+
+/// Verifies `claim` against `g` in-model.  `claim.neighbors_of[v]` is what
+/// node v believes its two cycle edges are (the solver output); entries may
+/// be arbitrary garbage — the protocol must reject without crashing or
+/// violating CONGEST.
+DistributedVerifyResult run_distributed_verify(const graph::Graph& g,
+                                               const graph::CycleIncidence& claim,
+                                               std::uint64_t seed = 0);
+
+}  // namespace dhc::core

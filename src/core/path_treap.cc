@@ -1,0 +1,145 @@
+#include "core/path_treap.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace dhc::core {
+
+PathTreap::PathTreap(NodeId capacity, std::uint64_t seed) {
+  const std::size_t n = capacity;
+  left_.assign(n, kNull);
+  right_.assign(n, kNull);
+  parent_.assign(n, kNull);
+  size_.assign(n, 1);
+  flip_.assign(n, 0);
+  prio_.assign(n, 0);
+  on_path_.assign(n, 0);
+  support::Rng rng(seed);
+  for (auto& p : prio_) p = rng.next_u64();
+}
+
+void PathTreap::push_down(std::uint32_t t) const {
+  if (flip_[t] == 0) return;
+  std::swap(left_[t], right_[t]);
+  if (left_[t] != kNull) flip_[left_[t]] ^= 1;
+  if (right_[t] != kNull) flip_[right_[t]] ^= 1;
+  flip_[t] = 0;
+}
+
+void PathTreap::pull_up(std::uint32_t t) {
+  std::uint32_t s = 1;
+  if (left_[t] != kNull) {
+    s += size_[left_[t]];
+    parent_[left_[t]] = t;
+  }
+  if (right_[t] != kNull) {
+    s += size_[right_[t]];
+    parent_[right_[t]] = t;
+  }
+  size_[t] = s;
+}
+
+std::uint32_t PathTreap::merge(std::uint32_t a, std::uint32_t b) {
+  if (a == kNull) return b;
+  if (b == kNull) return a;
+  if (prio_[a] > prio_[b]) {
+    push_down(a);
+    right_[a] = merge(right_[a], b);
+    pull_up(a);
+    return a;
+  }
+  push_down(b);
+  left_[b] = merge(a, left_[b]);
+  pull_up(b);
+  return b;
+}
+
+std::pair<std::uint32_t, std::uint32_t> PathTreap::split(std::uint32_t t, std::uint32_t k) {
+  if (t == kNull) return {kNull, kNull};
+  push_down(t);
+  const std::uint32_t left_size = (left_[t] == kNull) ? 0 : size_[left_[t]];
+  if (k <= left_size) {
+    auto [a, b] = split(left_[t], k);
+    left_[t] = b;
+    pull_up(t);
+    if (a != kNull) parent_[a] = kNull;
+    return {a, t};
+  }
+  auto [a, b] = split(right_[t], k - left_size - 1);
+  right_[t] = a;
+  pull_up(t);
+  if (b != kNull) parent_[b] = kNull;
+  return {t, b};
+}
+
+void PathTreap::append(NodeId v) {
+  DHC_REQUIRE(v < on_path_.size(), "append: node " << v << " beyond treap capacity");
+  DHC_REQUIRE(on_path_[v] == 0, "append: node " << v << " is already on the path");
+  on_path_[v] = 1;
+  left_[v] = kNull;
+  right_[v] = kNull;
+  parent_[v] = kNull;
+  size_[v] = 1;
+  flip_[v] = 0;
+  root_ = merge(root_, v);
+  if (root_ != kNull) parent_[root_] = kNull;
+}
+
+std::uint32_t PathTreap::position(NodeId v) const {
+  DHC_REQUIRE(v < on_path_.size() && on_path_[v] == 1, "position: node " << v << " not on path");
+  // Settle lazy flips along the root→v chain, then count by subtree sizes.
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t t = v; t != kNull; t = parent_[t]) chain.push_back(t);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) push_down(*it);
+
+  std::uint32_t pos = (left_[v] == kNull) ? 1 : size_[left_[v]] + 1;
+  for (std::uint32_t t = v; parent_[t] != kNull; t = parent_[t]) {
+    const std::uint32_t p = parent_[t];
+    if (right_[p] == t) {
+      pos += 1 + ((left_[p] == kNull) ? 0 : size_[left_[p]]);
+    }
+  }
+  return pos;
+}
+
+NodeId PathTreap::at(std::uint32_t pos) const {
+  DHC_REQUIRE(pos >= 1 && pos <= size(), "at: position " << pos << " outside path of size " << size());
+  std::uint32_t t = root_;
+  while (true) {
+    push_down(t);
+    const std::uint32_t left_size = (left_[t] == kNull) ? 0 : size_[left_[t]];
+    if (pos == left_size + 1) return static_cast<NodeId>(t);
+    if (pos <= left_size) {
+      t = left_[t];
+    } else {
+      pos -= left_size + 1;
+      t = right_[t];
+    }
+  }
+}
+
+void PathTreap::rotate_suffix(std::uint32_t j) {
+  DHC_REQUIRE(j >= 1 && j <= size(), "rotate_suffix: split point " << j << " outside path");
+  auto [a, b] = split(root_, j);
+  if (b != kNull) flip_[b] ^= 1;
+  root_ = merge(a, b);
+  if (root_ != kNull) parent_[root_] = kNull;
+}
+
+void PathTreap::collect(std::uint32_t t, std::vector<NodeId>& out) const {
+  if (t == kNull) return;
+  push_down(t);
+  collect(left_[t], out);
+  out.push_back(static_cast<NodeId>(t));
+  collect(right_[t], out);
+}
+
+std::vector<NodeId> PathTreap::to_vector() const {
+  std::vector<NodeId> out;
+  out.reserve(size());
+  collect(root_, out);
+  return out;
+}
+
+}  // namespace dhc::core

@@ -1,0 +1,73 @@
+// Implicit treap with lazy reversal — the path representation behind the
+// sequential rotation solver.
+//
+// The rotation step (paper Fig. 2) reverses the path suffix v_{j+1}..v_h.
+// A naive array pays O(h−j) per rotation, which makes the O(n log n)-step
+// algorithm quadratic; this treap supports append, position-of-node,
+// node-at-position, and reverse-suffix in O(log n) expected each, so the
+// Upcast root can solve instances with tens of thousands of nodes.
+//
+// Each graph node appears at most once on the path, so treap slots are
+// indexed directly by NodeId.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace dhc::core {
+
+using graph::NodeId;
+
+class PathTreap {
+ public:
+  /// Prepares slots for nodes 0..capacity-1; the path starts empty.
+  explicit PathTreap(NodeId capacity, std::uint64_t seed = 0x9d2c5680);
+
+  /// Number of nodes currently on the path.
+  std::uint32_t size() const { return root_ == kNull ? 0 : size_[root_]; }
+
+  /// True iff `v` is on the path.
+  bool contains(NodeId v) const { return on_path_[v] != 0; }
+
+  /// Appends `v` to the end of the path; `v` must not already be on it.
+  void append(NodeId v);
+
+  /// 1-based position of `v` on the path; `v` must be on the path.
+  std::uint32_t position(NodeId v) const;
+
+  /// Node at 1-based position `pos` (1 <= pos <= size()).
+  NodeId at(std::uint32_t pos) const;
+
+  /// The rotation step: reverses the suffix at positions j+1..size().
+  /// Requires 1 <= j <= size().
+  void rotate_suffix(std::uint32_t j);
+
+  /// The full path, front (position 1) to back.
+  std::vector<NodeId> to_vector() const;
+
+ private:
+  static constexpr std::uint32_t kNull = static_cast<std::uint32_t>(-1);
+
+  void push_down(std::uint32_t t) const;
+  void pull_up(std::uint32_t t);
+  /// Splits the subtree `t` into (first k, rest); returns {left, right}.
+  std::pair<std::uint32_t, std::uint32_t> split(std::uint32_t t, std::uint32_t k);
+  std::uint32_t merge(std::uint32_t a, std::uint32_t b);
+  void collect(std::uint32_t t, std::vector<NodeId>& out) const;
+
+  // Node storage, indexed by NodeId.  `mutable` members change under lazy
+  // flip propagation, which is logically const (the sequence is unchanged).
+  mutable std::vector<std::uint32_t> left_;
+  mutable std::vector<std::uint32_t> right_;
+  mutable std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  mutable std::vector<std::uint8_t> flip_;
+  std::vector<std::uint64_t> prio_;
+  std::vector<std::uint8_t> on_path_;
+  std::uint32_t root_ = kNull;
+};
+
+}  // namespace dhc::core

@@ -1,0 +1,43 @@
+// Shared result type for the distributed Hamiltonian-cycle algorithms.
+//
+// Every solver (DRA, DHC1, DHC2, Upcast, CollectAll) reports through this
+// struct: outcome, the cycle in the paper's per-node incident-edge form, the
+// CONGEST cost metrics, and algorithm-specific counters for the experiment
+// harness.  Randomized failure is a value, not an exception — callers decide
+// whether a failed trial is acceptable (success-probability experiments
+// count them on purpose).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "congest/metrics.h"
+#include "graph/hamiltonian.h"
+
+namespace dhc::core {
+
+struct Result {
+  bool success = false;
+  std::string failure_reason;
+
+  /// The paper's output convention (§I-A): each node's two HC-incident
+  /// edges.  Populated (and verified by callers) only on success.
+  graph::CycleIncidence cycle;
+
+  /// CONGEST cost of the run (rounds, messages, bits, memory, balance).
+  congest::Metrics metrics;
+
+  /// Algorithm-specific counters, e.g. "steps", "rotations",
+  /// "wrong_port_rejects", "merge_levels", "root_solve_steps".
+  std::map<std::string, double> stats;
+
+  /// Algorithm-specific series, e.g. DHC2's "bridges_per_level".
+  std::map<std::string, std::vector<double>> series;
+
+  double stat(const std::string& key) const {
+    const auto it = stats.find(key);
+    return it == stats.end() ? 0.0 : it->second;
+  }
+};
+
+}  // namespace dhc::core

@@ -1,0 +1,140 @@
+#include "core/sequential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/path_treap.h"
+#include "support/require.h"
+
+namespace dhc::core {
+
+using graph::CycleOrder;
+using graph::Graph;
+
+double theorem2_step_bound(graph::NodeId n) {
+  return 7.0 * static_cast<double>(n) * std::log(static_cast<double>(std::max<NodeId>(n, 2)));
+}
+
+RotationResult rotation_hamiltonian_cycle(const Graph& g, support::Rng& rng,
+                                          const RotationConfig& cfg) {
+  RotationResult result;
+  const NodeId n = g.n();
+  if (n < 3) {
+    result.failure_reason = "graph has fewer than 3 nodes";
+    return result;
+  }
+
+  const std::uint64_t max_steps =
+      cfg.max_steps_override != 0
+          ? cfg.max_steps_override
+          : static_cast<std::uint64_t>(cfg.step_multiplier * static_cast<double>(n) *
+                                       std::log(static_cast<double>(n))) +
+                16;
+
+  // Per-node unused-edge lists (paper Alg. 1 line 3).  Edges consumed by
+  // either endpoint are recorded in `used` and skipped lazily, so both
+  // endpoints' removals (line 13) cost O(1) amortized.
+  std::vector<std::vector<NodeId>> unused(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    unused[v].assign(nb.begin(), nb.end());
+  }
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(g.m() / 4 + 16);
+  const auto edge_key = [](NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  };
+
+  PathTreap path(n, rng.next_u64());
+  NodeId head = static_cast<NodeId>(rng.below(n));  // random v1 (paper §II-A2)
+  path.append(head);
+
+  while (result.stats.steps < max_steps) {
+    // Draw a random unused edge at the head, skipping entries consumed from
+    // the other side.
+    auto& list = unused[head];
+    NodeId target = graph::NodeId(-1);
+    while (!list.empty()) {
+      const std::size_t idx = static_cast<std::size_t>(rng.below(list.size()));
+      const NodeId candidate = list[idx];
+      list[idx] = list.back();
+      list.pop_back();
+      if (!used.contains(edge_key(head, candidate))) {
+        target = candidate;
+        break;
+      }
+    }
+    if (target == graph::NodeId(-1)) {
+      result.failure_reason = "head ran out of unused edges (event E2)";
+      return result;
+    }
+    used.insert(edge_key(head, target));
+    result.stats.steps += 1;
+
+    if (!path.contains(target)) {
+      // Extension: the path grows by one node; the new node becomes head.
+      path.append(target);
+      head = target;
+      result.stats.extensions += 1;
+      continue;
+    }
+
+    const std::uint32_t h = path.size();
+    const std::uint32_t j = path.position(target);
+    if (j == 1 && h == n) {
+      // pos = |V| and the head holds an edge to v1: the cycle closes
+      // (paper Alg. 1 line 12).
+      result.success = true;
+      result.cycle.order = path.to_vector();
+      return result;
+    }
+    // Rotation (paper Fig. 2): v1..vj vj+1..vh  →  v1..vj vh..vj+1.
+    path.rotate_suffix(j);
+    head = path.at(h);
+    result.stats.rotations += 1;
+  }
+
+  result.failure_reason = "step budget exhausted (event E1)";
+  return result;
+}
+
+namespace {
+
+bool exact_dfs(const Graph& g, std::vector<NodeId>& order, std::vector<bool>& visited) {
+  const NodeId n = g.n();
+  if (order.size() == n) {
+    return g.has_edge(order.back(), order.front());
+  }
+  const NodeId v = order.back();
+  for (const NodeId w : g.neighbors(v)) {
+    if (visited[w]) continue;
+    visited[w] = true;
+    order.push_back(w);
+    if (exact_dfs(g, order, visited)) return true;
+    order.pop_back();
+    visited[w] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<CycleOrder> exact_hamiltonian_cycle(const Graph& g) {
+  const NodeId n = g.n();
+  if (n < 3) return std::nullopt;
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) < 2) return std::nullopt;  // a cycle needs degree >= 2
+  }
+  std::vector<NodeId> order{0};
+  std::vector<bool> visited(n, false);
+  visited[0] = true;
+  if (exact_dfs(g, order, visited)) {
+    CycleOrder cycle;
+    cycle.order = std::move(order);
+    return cycle;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dhc::core

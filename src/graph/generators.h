@@ -1,0 +1,62 @@
+// Random and structured graph generators.
+//
+// The paper's input model is G(n, p) with p = c·ln n / n^δ; §IV also points
+// at G(n, M) and random regular graphs as natural extensions.  Structured
+// graphs (cycles, cliques, stars, Petersen) serve as test fixtures with
+// known Hamiltonicity.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace dhc::graph {
+
+/// Erdős–Rényi G(n, p): every pair is an edge independently with
+/// probability p.  Runs in O(n + m) expected time via Batagelj–Brandes
+/// geometric skipping, so sparse graphs never touch all n² pairs.
+Graph gnp(NodeId n, double p, support::Rng& rng);
+
+/// G(n, M): a uniformly random graph with exactly M distinct edges.
+/// Requires M <= n(n-1)/2.
+Graph gnm(NodeId n, std::uint64_t m, support::Rng& rng);
+
+/// Random d-regular graph via the configuration model with restarts
+/// (rejecting self-loops/multi-edges).  Requires n*d even, d < n.
+Graph random_regular(NodeId n, std::uint32_t d, support::Rng& rng);
+
+/// The edge probability the paper parameterizes by: p = c·ln n / n^δ.
+/// δ = 1 is the Hamiltonicity threshold regime; δ = 1/2 is DHC1's regime.
+double edge_probability(NodeId n, double c, double delta);
+
+/// Cycle 0-1-…-(n-1)-0; Hamiltonian by construction.  Requires n >= 3.
+Graph cycle_graph(NodeId n);
+
+/// Complete graph K_n.
+Graph complete_graph(NodeId n);
+
+/// Star K_{1,n-1}; has no Hamiltonian cycle for n >= 4 (and n == 3 is a path).
+Graph star_graph(NodeId n);
+
+/// Path 0-1-…-(n-1); never Hamiltonian for n >= 3.
+Graph path_graph(NodeId n);
+
+/// The Petersen graph: 10 nodes, 3-regular, famously *not* Hamiltonian
+/// (but traceable).  A classic verifier test fixture.
+Graph petersen_graph();
+
+/// Complete bipartite graph K_{a,b}; Hamiltonian iff a == b >= 2.
+Graph complete_bipartite_graph(NodeId a, NodeId b);
+
+/// Chung–Lu random graph [6] (paper §I: the model "used extensively to
+/// model and analyze real-world networks"): edge (u, v) appears with
+/// probability min(1, w_u·w_v / Σw), independently; node u's expected
+/// degree is ≈ w_u.  Runs in O(n + m) expected time.
+Graph chung_lu(std::span<const double> weights, support::Rng& rng);
+
+/// Power-law weight sequence for chung_lu: w_i ∝ (i+1)^{-1/(β-1)} scaled to
+/// the given average degree (β > 2 keeps the mean finite).
+std::vector<double> power_law_weights(NodeId n, double beta, double average_degree);
+
+}  // namespace dhc::graph

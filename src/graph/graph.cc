@@ -1,0 +1,89 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace dhc::graph {
+
+Graph::Graph(NodeId n, const std::vector<Edge>& edges) : n_(n) {
+  std::vector<Edge> canonical;
+  canonical.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    DHC_REQUIRE(u < n && v < n, "edge (" << u << "," << v << ") outside node range [0," << n << ")");
+    DHC_REQUIRE(u != v, "self-loop at node " << u);
+    canonical.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(canonical.begin(), canonical.end());
+  canonical.erase(std::unique(canonical.begin(), canonical.end()), canonical.end());
+
+  std::vector<std::uint64_t> degree(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : canonical) {
+    ++degree[static_cast<std::size_t>(u) + 1];
+    ++degree[static_cast<std::size_t>(v) + 1];
+  }
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) offsets_[i] = offsets_[i - 1] + degree[i];
+
+  adjacency_.assign(offsets_[n], 0);
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : canonical) {
+    adjacency_[cursor[u]++] = v;
+    adjacency_[cursor[v]++] = u;
+  }
+  // Canonical edge order already emits each node's neighbors in increasing
+  // order of the *other* endpoint only for u < v halves; sort per node to
+  // guarantee the invariant.
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+  }
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  DHC_REQUIRE(u < n_ && v < n_, "has_edge(" << u << "," << v << ") outside node range");
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(m());
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes) {
+  std::vector<NodeId> to_original(nodes.begin(), nodes.end());
+  std::vector<NodeId> to_new(g.n(), static_cast<NodeId>(-1));
+  for (std::size_t i = 0; i < to_original.size(); ++i) {
+    const NodeId old_id = to_original[i];
+    DHC_REQUIRE(old_id < g.n(), "induced_subgraph: node " << old_id << " out of range");
+    DHC_REQUIRE(to_new[old_id] == static_cast<NodeId>(-1),
+                "induced_subgraph: duplicate node " << old_id);
+    to_new[old_id] = static_cast<NodeId>(i);
+  }
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < to_original.size(); ++i) {
+    for (NodeId w : g.neighbors(to_original[i])) {
+      const NodeId j = to_new[w];
+      if (j != static_cast<NodeId>(-1) && static_cast<NodeId>(i) < j) {
+        edges.emplace_back(static_cast<NodeId>(i), j);
+      }
+    }
+  }
+  return InducedSubgraph{Graph(static_cast<NodeId>(to_original.size()), edges),
+                         std::move(to_original)};
+}
+
+}  // namespace dhc::graph

@@ -1,0 +1,70 @@
+// Immutable undirected graph in compressed-sparse-row form.
+//
+// This is the substrate every other subsystem builds on: the CONGEST
+// simulator walks neighbor spans when delivering messages, the generators
+// produce edge lists that are frozen into a Graph, and the verifier checks
+// cycle edges against has_edge().  Neighbor lists are sorted, so adjacency
+// queries are O(log deg) and iteration order is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dhc::graph {
+
+/// Node identifier; nodes of an n-node graph are 0 .. n-1.
+using NodeId = std::uint32_t;
+
+/// An undirected edge; canonical form has first <= second.
+using Edge = std::pair<NodeId, NodeId>;
+
+/// Immutable undirected simple graph (no self-loops, no parallel edges).
+class Graph {
+ public:
+  /// Builds a graph on `n` nodes from an edge list.  Self-loops are
+  /// rejected; duplicate edges (in either orientation) are merged.
+  Graph(NodeId n, const std::vector<Edge>& edges);
+
+  /// Number of nodes.
+  NodeId n() const { return n_; }
+
+  /// Number of (undirected) edges.
+  std::size_t m() const { return adjacency_.size() / 2; }
+
+  /// Degree of `v`.
+  std::size_t degree(NodeId v) const {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbors of `v`.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Adjacency test in O(log deg(u)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges in canonical (u < v) form, sorted.
+  std::vector<Edge> edges() const;
+
+  /// Maximum degree over all nodes (0 for the empty graph).
+  std::size_t max_degree() const;
+
+ private:
+  NodeId n_;
+  std::vector<std::uint64_t> offsets_;  // n+1 entries
+  std::vector<NodeId> adjacency_;       // 2m entries, sorted per node
+};
+
+/// The subgraph induced by `nodes` (which must be distinct, valid ids).
+/// Returns the new graph plus the mapping new-id -> old-id; new ids follow
+/// the order of `nodes`.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;
+};
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes);
+
+}  // namespace dhc::graph

@@ -1,0 +1,144 @@
+#include "graph/hamiltonian.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/require.h"
+
+namespace dhc::graph {
+
+VerifyResult verify_cycle_order(const Graph& g, const CycleOrder& cycle) {
+  const auto n = static_cast<std::size_t>(g.n());
+  if (n < 3) return VerifyResult::fail("graph has fewer than 3 nodes; no cycle possible");
+  if (cycle.order.size() != n) {
+    std::ostringstream os;
+    os << "order length " << cycle.order.size() << " != n = " << n;
+    return VerifyResult::fail(os.str());
+  }
+  std::vector<bool> seen(n, false);
+  for (const NodeId v : cycle.order) {
+    if (v >= g.n()) {
+      std::ostringstream os;
+      os << "order contains invalid node " << v;
+      return VerifyResult::fail(os.str());
+    }
+    if (seen[v]) {
+      std::ostringstream os;
+      os << "node " << v << " appears twice in the order";
+      return VerifyResult::fail(os.str());
+    }
+    seen[v] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId u = cycle.order[i];
+    const NodeId v = cycle.order[(i + 1) % n];
+    if (!g.has_edge(u, v)) {
+      std::ostringstream os;
+      os << "consecutive cycle nodes (" << u << "," << v << ") are not adjacent in the graph";
+      return VerifyResult::fail(os.str());
+    }
+  }
+  return VerifyResult::success();
+}
+
+VerifyResult verify_cycle_incidence(const Graph& g, const CycleIncidence& inc) {
+  const auto n = static_cast<std::size_t>(g.n());
+  if (n < 3) return VerifyResult::fail("graph has fewer than 3 nodes; no cycle possible");
+  if (inc.neighbors_of.size() != n) {
+    std::ostringstream os;
+    os << "incidence covers " << inc.neighbors_of.size() << " nodes, expected " << n;
+    return VerifyResult::fail(os.str());
+  }
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto [a, b] = inc.neighbors_of[v];
+    if (a >= g.n() || b >= g.n()) {
+      std::ostringstream os;
+      os << "node " << v << " names an out-of-range cycle neighbor";
+      return VerifyResult::fail(os.str());
+    }
+    if (a == b) {
+      std::ostringstream os;
+      os << "node " << v << " names the same cycle neighbor twice (" << a << ")";
+      return VerifyResult::fail(os.str());
+    }
+    if (a == v || b == v) {
+      std::ostringstream os;
+      os << "node " << v << " names itself as a cycle neighbor";
+      return VerifyResult::fail(os.str());
+    }
+    for (const NodeId w : {a, b}) {
+      if (!g.has_edge(v, w)) {
+        std::ostringstream os;
+        os << "claimed cycle edge (" << v << "," << w << ") is not in the graph";
+        return VerifyResult::fail(os.str());
+      }
+      const auto& back = inc.neighbors_of[w];
+      if (back[0] != v && back[1] != v) {
+        std::ostringstream os;
+        os << "asymmetric incidence: " << v << " names " << w << " but not vice versa";
+        return VerifyResult::fail(os.str());
+      }
+    }
+  }
+  // Degree and symmetry hold; now ensure a single n-cycle (not 2+ disjoint ones).
+  const auto order = order_from_incidence(inc);
+  if (!order.has_value()) {
+    return VerifyResult::fail("incident edges form multiple disjoint cycles, not one n-cycle");
+  }
+  return VerifyResult::success();
+}
+
+CycleIncidence incidence_from_order(const CycleOrder& cycle) {
+  const std::size_t n = cycle.order.size();
+  DHC_REQUIRE(n >= 3, "cycle must visit at least 3 nodes");
+  NodeId max_id = 0;
+  for (const NodeId v : cycle.order) max_id = std::max(max_id, v);
+  CycleIncidence inc;
+  inc.neighbors_of.assign(static_cast<std::size_t>(max_id) + 1, {0, 0});
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId prev = cycle.order[(i + n - 1) % n];
+    const NodeId next = cycle.order[(i + 1) % n];
+    inc.neighbors_of[cycle.order[i]] = {prev, next};
+  }
+  return inc;
+}
+
+std::optional<CycleOrder> order_from_incidence(const CycleIncidence& inc) {
+  const std::size_t n = inc.neighbors_of.size();
+  if (n < 3) return std::nullopt;
+  CycleOrder cycle;
+  cycle.order.reserve(n);
+  NodeId prev = inc.neighbors_of[0][0];
+  NodeId cur = 0;
+  for (std::size_t steps = 0; steps < n; ++steps) {
+    cycle.order.push_back(cur);
+    const auto [a, b] = inc.neighbors_of[cur];
+    if (a >= n || b >= n) return std::nullopt;
+    const NodeId next = (a == prev) ? b : a;
+    prev = cur;
+    cur = next;
+  }
+  if (cur != 0) return std::nullopt;  // walk did not close after n steps
+  // Closing is not enough: ensure all nodes were visited exactly once.
+  std::vector<bool> seen(n, false);
+  for (const NodeId v : cycle.order) {
+    if (seen[v]) return std::nullopt;
+    seen[v] = true;
+  }
+  return cycle;
+}
+
+std::vector<Edge> cycle_edges(const CycleOrder& cycle) {
+  const std::size_t n = cycle.order.size();
+  DHC_REQUIRE(n >= 3, "cycle must visit at least 3 nodes");
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId u = cycle.order[i];
+    const NodeId v = cycle.order[(i + 1) % n];
+    edges.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  return edges;
+}
+
+}  // namespace dhc::graph

@@ -1,0 +1,61 @@
+// Hamiltonian cycle representations and verification.
+//
+// The paper's output convention (§I-A) is distributed: "each node will know
+// which of its incident edges belong to the HC (exactly two of them)".  We
+// support both that per-node incident form and the centralized visiting
+// order, with checked conversions.  Every solver result in libdhc is passed
+// through verify_* in tests — a cycle is never trusted, always checked
+// against the input graph.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dhc::graph {
+
+/// A Hamiltonian cycle as a visiting order: order[0], order[1], …,
+/// order[n-1], back to order[0].  Valid iff `order` is a permutation of the
+/// nodes and consecutive nodes (cyclically) are adjacent in the graph.
+struct CycleOrder {
+  std::vector<NodeId> order;
+};
+
+/// Per-node view: the two cycle neighbors of each node (the paper's output
+/// convention).  neighbors_of[v] = {predecessor, successor} in some
+/// traversal direction; the pair is unordered for verification purposes.
+struct CycleIncidence {
+  std::vector<std::array<NodeId, 2>> neighbors_of;
+};
+
+/// Outcome of verification; `ok()` or a human-readable failure reason.
+struct VerifyResult {
+  std::optional<std::string> failure;
+  bool ok() const { return !failure.has_value(); }
+  static VerifyResult success() { return {}; }
+  static VerifyResult fail(std::string reason) { return {std::move(reason)}; }
+};
+
+/// Checks that `cycle` is a Hamiltonian cycle of `g`.
+VerifyResult verify_cycle_order(const Graph& g, const CycleOrder& cycle);
+
+/// Checks the distributed form: every node names exactly two distinct cycle
+/// neighbors, naming is symmetric, all named edges exist in `g`, and the
+/// named edges form one cycle through all n nodes (not a union of smaller
+/// cycles).
+VerifyResult verify_cycle_incidence(const Graph& g, const CycleIncidence& inc);
+
+/// Converts a visiting order to the per-node form.  Requires n >= 3.
+CycleIncidence incidence_from_order(const CycleOrder& cycle);
+
+/// Reconstructs a visiting order by walking the per-node form from node 0.
+/// Returns std::nullopt when the incidence is not a single n-cycle.
+std::optional<CycleOrder> order_from_incidence(const CycleIncidence& inc);
+
+/// The n edges of the cycle in canonical form.
+std::vector<Edge> cycle_edges(const CycleOrder& cycle);
+
+}  // namespace dhc::graph

@@ -1,0 +1,67 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "support/require.h"
+
+namespace dhc::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.n() << ' ' << g.m() << '\n';
+  for (const auto& [u, v] : g.edges()) {
+    os << u << ' ' << v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  DHC_REQUIRE(static_cast<bool>(is >> n >> m), "edge list: missing 'n m' header");
+  DHC_REQUIRE(n <= std::numeric_limits<NodeId>::max(), "edge list: n too large");
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    DHC_REQUIRE(static_cast<bool>(is >> u >> v),
+                "edge list: expected " << m << " edges, got " << i);
+    DHC_REQUIRE(u < n && v < n, "edge list: edge (" << u << "," << v << ") out of range");
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return Graph(static_cast<NodeId>(n), edges);
+}
+
+void write_cycle(std::ostream& os, const CycleOrder& cycle) {
+  os << cycle.order.size() << '\n';
+  for (const NodeId v : cycle.order) os << v << '\n';
+}
+
+CycleOrder read_cycle(std::istream& is) {
+  std::uint64_t n = 0;
+  DHC_REQUIRE(static_cast<bool>(is >> n), "cycle: missing length header");
+  CycleOrder cycle;
+  cycle.order.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t v = 0;
+    DHC_REQUIRE(static_cast<bool>(is >> v), "cycle: expected " << n << " nodes, got " << i);
+    cycle.order.push_back(static_cast<NodeId>(v));
+  }
+  return cycle;
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  DHC_REQUIRE(os.good(), "cannot open " << path << " for writing");
+  write_edge_list(os, g);
+  DHC_REQUIRE(os.good(), "write to " << path << " failed");
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream is(path);
+  DHC_REQUIRE(is.good(), "cannot open " << path << " for reading");
+  return read_edge_list(is);
+}
+
+}  // namespace dhc::graph

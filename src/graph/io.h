@@ -1,0 +1,35 @@
+// Plain-text graph and cycle serialization.
+//
+// Interop glue for a library users actually adopt: dump generated instances
+// for external tools, reload recorded instances for regression tests, and
+// persist solver outputs.  Format: first line "n m", then one "u v" pair
+// per line (edge list); cycles are one node id per line in visiting order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/hamiltonian.h"
+
+namespace dhc::graph {
+
+/// Writes `g` as an edge list ("n m" header, then "u v" lines).
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses an edge list written by write_edge_list.  Throws
+/// std::invalid_argument on malformed input (bad header, out-of-range ids,
+/// trailing junk).
+Graph read_edge_list(std::istream& is);
+
+/// Writes a cycle as one node id per line, visiting order.
+void write_cycle(std::ostream& os, const CycleOrder& cycle);
+
+/// Parses a cycle written by write_cycle.
+CycleOrder read_cycle(std::istream& is);
+
+/// Convenience: file-path overloads (throw on I/O failure).
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace dhc::graph

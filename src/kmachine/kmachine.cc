@@ -1,0 +1,72 @@
+#include "kmachine/kmachine.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace dhc::kmachine {
+
+KMachineCost::KMachineCost(NodeId n, std::uint32_t k, std::uint64_t bandwidth, std::uint64_t seed)
+    : k_(k), bandwidth_(bandwidth) {
+  DHC_REQUIRE(k >= 2, "k-machine model needs at least 2 machines");
+  DHC_REQUIRE(bandwidth >= 1, "per-link bandwidth must be at least 1 message/round");
+  machine_of_.resize(n);
+  support::Rng rng(seed ^ 0x6b6d616368696e65ULL);
+  for (NodeId v = 0; v < n; ++v) {
+    machine_of_[v] = static_cast<std::uint32_t>(rng.below(k));
+  }
+}
+
+void KMachineCost::flush_round() const {
+  std::uint64_t busiest = 0;
+  for (const auto& [link, load] : round_load_) {
+    busiest = std::max(busiest, load);
+  }
+  if (busiest > 0) {
+    rounds_accum_ += (busiest + bandwidth_ - 1) / bandwidth_;
+  }
+  round_load_.clear();
+}
+
+void KMachineCost::on_send(NodeId from, NodeId to, std::uint64_t round) {
+  if (round != current_round_) {
+    flush_round();
+    current_round_ = round;
+  }
+  const std::uint32_t a = machine_of_[from];
+  const std::uint32_t b = machine_of_[to];
+  if (a == b) {
+    ++local_messages_;
+    return;
+  }
+  ++cross_messages_;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  const std::uint64_t load = ++round_load_[key];
+  busiest_link_total_ = std::max(busiest_link_total_, load);
+}
+
+std::uint64_t KMachineCost::kmachine_rounds() const {
+  flush_round();
+  return rounds_accum_;
+}
+
+KMachineReport convert_dhc2(const graph::Graph& g, std::uint64_t seed, std::uint32_t k,
+                            std::uint64_t bandwidth, const core::Dhc2Config& base) {
+  KMachineCost cost(g.n(), k, bandwidth, seed);
+  core::Dhc2Config cfg = base;
+  cfg.observer = &cost;
+  const core::Result r = core::run_dhc2(g, seed, cfg);
+
+  KMachineReport report;
+  report.k = k;
+  report.bandwidth = bandwidth;
+  report.success = r.success;
+  report.congest_rounds = r.metrics.rounds;
+  report.kmachine_rounds = cost.kmachine_rounds();
+  report.cross_messages = cost.cross_messages();
+  report.local_messages = cost.local_messages();
+  return report;
+}
+
+}  // namespace dhc::kmachine

@@ -1,0 +1,83 @@
+// The k-machine model conversion (paper §IV; Klauck–Nanongkai–Pandurangan–
+// Robinson [16]).
+//
+// In the k-machine model, k machines form a complete network; the n graph
+// nodes are assigned to machines by a random vertex partition, and each of
+// the k(k−1)/2 links carries O(polylog n) bits per round.  A CONGEST
+// algorithm converts by direct simulation: each CONGEST round, every
+// node-to-node message either stays inside a machine (free) or crosses one
+// machine link; a CONGEST round whose busiest link carries L messages costs
+// ⌈L / bandwidth⌉ k-machine rounds.
+//
+// KMachineCost implements that pricing as a congest::MessageObserver: hang
+// it off any protocol run and read the converted round count afterwards.
+// convert_dhc2() packages the paper's claim — "our fully-distributed
+// algorithms can be used to obtain efficient algorithms in the k-machine
+// model" — as a runnable experiment (EXP-K1): more machines means more
+// parallel links, so converted rounds fall as k grows.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/network.h"
+#include "core/dhc2.h"
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace dhc::kmachine {
+
+using graph::NodeId;
+
+/// Prices a CONGEST execution under the k-machine model.
+class KMachineCost : public congest::MessageObserver {
+ public:
+  /// Randomly partitions nodes 0..n-1 over k machines (the model's random
+  /// vertex partition); each link carries `bandwidth` messages per round.
+  KMachineCost(NodeId n, std::uint32_t k, std::uint64_t bandwidth, std::uint64_t seed);
+
+  void on_send(NodeId from, NodeId to, std::uint64_t round) override;
+
+  /// Which machine hosts node v.
+  std::uint32_t machine_of(NodeId v) const { return machine_of_[v]; }
+
+  /// Converted k-machine rounds so far (call after the run completes).
+  std::uint64_t kmachine_rounds() const;
+
+  std::uint64_t cross_messages() const { return cross_messages_; }
+  std::uint64_t local_messages() const { return local_messages_; }
+  std::uint64_t busiest_link_total() const { return busiest_link_total_; }
+
+ private:
+  void flush_round() const;
+
+  std::uint32_t k_;
+  std::uint64_t bandwidth_;
+  std::vector<std::uint32_t> machine_of_;
+
+  // Current-round link loads, keyed by (machine a << 32 | machine b), a < b.
+  mutable std::unordered_map<std::uint64_t, std::uint64_t> round_load_;
+  mutable std::uint64_t current_round_ = 0;
+  mutable std::uint64_t rounds_accum_ = 0;
+  std::uint64_t cross_messages_ = 0;
+  std::uint64_t local_messages_ = 0;
+  std::uint64_t busiest_link_total_ = 0;
+};
+
+struct KMachineReport {
+  std::uint32_t k = 0;
+  std::uint64_t bandwidth = 0;
+  bool success = false;
+  std::uint64_t congest_rounds = 0;
+  std::uint64_t kmachine_rounds = 0;
+  std::uint64_t cross_messages = 0;
+  std::uint64_t local_messages = 0;
+};
+
+/// Runs DHC2 on `g` and prices the execution on k machines with the given
+/// per-link bandwidth (messages/round).  EXP-K1's workhorse.
+KMachineReport convert_dhc2(const graph::Graph& g, std::uint64_t seed, std::uint32_t k,
+                            std::uint64_t bandwidth, const core::Dhc2Config& base = {});
+
+}  // namespace dhc::kmachine

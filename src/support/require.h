@@ -1,0 +1,62 @@
+// Precondition / invariant checking for libdhc.
+//
+// The library reports contract violations by throwing: callers that feed a
+// solver an empty graph or a malformed configuration get a std::invalid_argument
+// (DHC_REQUIRE), while broken internal invariants surface as std::logic_error
+// (DHC_CHECK).  Both carry the failing expression and source location so that
+// test failures and user bug reports are actionable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dhc::support {
+
+/// Thrown by DHC_CHECK when an internal invariant is violated (a libdhc bug).
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_requirement_failure(const char* expr, const char* file, int line,
+                                                   const std::string& what) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr;
+  if (!what.empty()) os << " — " << what;
+  os << " [" << file << ':' << line << ']';
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant_failure(const char* expr, const char* file, int line,
+                                                 const std::string& what) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr;
+  if (!what.empty()) os << " — " << what;
+  os << " [" << file << ':' << line << ']';
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace dhc::support
+
+/// Validate a caller-supplied precondition; throws std::invalid_argument on failure.
+#define DHC_REQUIRE(expr, msg)                                                              \
+  do {                                                                                      \
+    if (!(expr)) {                                                                          \
+      ::dhc::support::detail::throw_requirement_failure(#expr, __FILE__, __LINE__,          \
+                                                        (std::ostringstream{} << msg).str()); \
+    }                                                                                       \
+  } while (false)
+
+/// Validate an internal invariant; throws dhc::support::InvariantViolation on failure.
+#define DHC_CHECK(expr, msg)                                                                \
+  do {                                                                                      \
+    if (!(expr)) {                                                                          \
+      ::dhc::support::detail::throw_invariant_failure(#expr, __FILE__, __LINE__,            \
+                                                      (std::ostringstream{} << msg).str()); \
+    }                                                                                       \
+  } while (false)

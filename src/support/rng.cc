@@ -1,0 +1,27 @@
+#include "support/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace dhc::support {
+
+std::vector<std::uint64_t> Rng::sample_distinct(std::uint64_t n, std::uint64_t k) {
+  DHC_REQUIRE(k <= n, "cannot sample " << k << " distinct values from [0, " << n << ")");
+  // Floyd's algorithm: k iterations, expected O(k) hash operations.
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(k) * 2);
+  std::vector<std::uint64_t> result;
+  result.reserve(static_cast<std::size_t>(k));
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = below(j + 1);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace dhc::support

@@ -1,0 +1,146 @@
+// Deterministic random number generation for libdhc.
+//
+// Randomized distributed algorithms must be replayable: a run is a pure
+// function of (graph seed, algorithm seed).  Rng wraps xoshiro256**, seeded
+// through splitmix64 per the authors' recommendation, and exposes the handful
+// of distributions the algorithms need.  Per-node streams are derived with
+// Rng::stream(), so protocol output never depends on simulator scheduling
+// order and nodes cannot accidentally share randomness.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/require.h"
+
+namespace dhc::support {
+
+/// splitmix64 step; used for seeding and stream derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic, seedable PRNG (xoshiro256**) with derived sub-streams.
+///
+/// Satisfies std::uniform_random_bit_generator, so it also plugs into
+/// standard-library distributions where convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; equal seeds yield equal sequences on every platform.
+  explicit Rng(std::uint64_t seed = 0) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  /// Next 64 uniformly random bits.
+  result_type operator()() { return next_u64(); }
+
+  result_type next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) {
+    DHC_REQUIRE(bound > 0, "uniform bound must be positive");
+    // Unbiased rejection sampling on the top bits: draw until the value
+    // falls below the largest multiple of `bound` representable in 64 bits.
+    const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                                (std::numeric_limits<std::uint64_t>::max() % bound + 1) % bound;
+    while (true) {
+      const std::uint64_t x = next_u64();
+      if (x <= limit) return x % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    DHC_REQUIRE(lo <= hi, "uniform range is empty: [" << lo << ", " << hi << "]");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    const std::uint64_t draw = (span == 0) ? next_u64() : below(span);
+    return lo + static_cast<std::int64_t>(draw);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial: true with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Geometric skip for Batagelj–Brandes G(n,p) generation: the number of
+  /// candidate slots to skip before the next present edge, i.e. a sample of
+  /// floor(ln(U) / ln(1-p)) with U uniform in (0,1).  Requires 0 < p < 1.
+  std::uint64_t geometric_skip(double log1mp) {
+    // log1mp = ln(1-p), precomputed by the caller (it is loop-invariant).
+    DHC_REQUIRE(log1mp < 0.0, "geometric_skip requires ln(1-p) < 0");
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();  // avoid log(0)
+    return static_cast<std::uint64_t>(std::log(u) / log1mp);
+  }
+
+  /// Uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    DHC_REQUIRE(!items.empty(), "pick from empty span");
+    return items[below(items.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (Floyd's algorithm); returned in
+  /// insertion order, deterministic for a given state.  Requires k <= n.
+  std::vector<std::uint64_t> sample_distinct(std::uint64_t n, std::uint64_t k);
+
+  /// Derives an independent child stream; stream(i) != stream(j) for i != j
+  /// and children are statistically independent of the parent's future output.
+  Rng stream(std::uint64_t stream_id) const {
+    std::uint64_t sm = state_[0] ^ rotl(state_[2], 13) ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    Rng child(0);
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dhc::support

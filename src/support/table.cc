@@ -1,0 +1,71 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/require.h"
+
+namespace dhc::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DHC_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DHC_REQUIRE(cells.size() == headers_.size(),
+              "row has " << cells.size() << " cells, expected " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '-' && c != '+' &&
+        c != 'e' && c != 'E' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      const bool right = looks_numeric(row[c]);
+      os << (right ? std::right : std::left) << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << "  ";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace dhc::support

@@ -1,0 +1,40 @@
+// Fixed-width table printer for the benchmark harness.
+//
+// Every experiment binary prints its series as an aligned text table (the
+// repository's equivalent of the paper's figures), so output stays greppable
+// and diffable across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dhc::support {
+
+/// Column-aligned text table.  Usage:
+///   Table t({"n", "rounds", "success"});
+///   t.add_row({"1024", "813", "1.00"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule, right-aligning numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  /// Convenience: formats a double with `precision` significant decimals.
+  static std::string num(double value, int precision = 2);
+  /// Convenience: formats an integer count.
+  static std::string num(std::uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dhc::support

@@ -1,0 +1,142 @@
+// Tests for the distributed output-verification protocol: it must accept
+// exactly what the offline verifier accepts, reject corrupted claims, and
+// never crash or break CONGEST on garbage input.
+#include "core/distributed_verify.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/dhc2.h"
+#include "graph/generators.h"
+
+namespace dhc::core {
+namespace {
+
+using graph::Graph;
+
+graph::CycleIncidence planted_instance(graph::NodeId n, std::uint64_t seed, Graph* out_graph) {
+  // Plant a random Hamiltonian cycle in a random graph.
+  support::Rng rng(seed);
+  graph::CycleOrder order;
+  order.order.resize(n);
+  std::iota(order.order.begin(), order.order.end(), 0);
+  rng.shuffle(std::span<graph::NodeId>(order.order));
+  auto edges = graph::cycle_edges(order);
+  const Graph noise = graph::gnp(n, 4.0 * std::log(n) / n, rng);
+  const auto extra = noise.edges();
+  edges.insert(edges.end(), extra.begin(), extra.end());
+  *out_graph = Graph(n, edges);
+  return graph::incidence_from_order(order);
+}
+
+TEST(DistributedVerify, AcceptsPlantedCycle) {
+  Graph g(0, {});
+  const auto claim = planted_instance(64, 1, &g);
+  const auto r = run_distributed_verify(g, claim);
+  EXPECT_TRUE(r.accepted) << r.reason;
+  // Claims (2 rounds) + walk (n+1) + verdict: O(n) total.
+  EXPECT_GE(r.metrics.phase_rounds("walk"), 64u);
+}
+
+TEST(DistributedVerify, AcceptsSolverOutput) {
+  support::Rng rng(2);
+  const Graph g = graph::gnp(256, 0.3, rng);
+  Dhc2Config cfg;
+  cfg.num_colors_override = 4;
+  const auto solved = run_dhc2(g, 5, cfg);
+  ASSERT_TRUE(solved.success) << solved.failure_reason;
+  const auto r = run_distributed_verify(g, solved.cycle);
+  EXPECT_TRUE(r.accepted) << r.reason;
+}
+
+TEST(DistributedVerify, RejectsTwoDisjointCycles) {
+  // Two disjoint planted cycles over 0..31 and 32..63: locally perfect,
+  // globally wrong — only the token walk can catch this.
+  const graph::NodeId n = 64;
+  graph::CycleOrder first;
+  first.order.resize(32);
+  std::iota(first.order.begin(), first.order.end(), 0);
+  graph::CycleOrder second;
+  second.order.resize(32);
+  std::iota(second.order.begin(), second.order.end(), 32);
+  auto edges = graph::cycle_edges(first);
+  const auto more = graph::cycle_edges(second);
+  edges.insert(edges.end(), more.begin(), more.end());
+  // Connect the components so the graph itself is connected.
+  edges.emplace_back(0, 32);
+  const Graph g(n, edges);
+
+  graph::CycleIncidence claim;
+  claim.neighbors_of.resize(n);
+  const auto inc1 = graph::incidence_from_order(first);
+  const auto inc2 = graph::incidence_from_order(second);
+  for (graph::NodeId v = 0; v < 32; ++v) claim.neighbors_of[v] = inc1.neighbors_of[v];
+  for (graph::NodeId v = 32; v < 64; ++v) claim.neighbors_of[v] = inc2.neighbors_of[v];
+
+  const auto r = run_distributed_verify(g, claim);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_NE(r.reason.find("hop count"), std::string::npos);
+}
+
+TEST(DistributedVerify, RejectsAsymmetricClaim) {
+  Graph g(0, {});
+  auto claim = planted_instance(48, 3, &g);
+  // Node 5 claims an unrelated (but physically adjacent) neighbor.
+  const auto victim = 5u;
+  for (const auto w : g.neighbors(victim)) {
+    if (w != claim.neighbors_of[victim][0] && w != claim.neighbors_of[victim][1]) {
+      claim.neighbors_of[victim][0] = w;
+      break;
+    }
+  }
+  const auto r = run_distributed_verify(g, claim);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(DistributedVerify, RejectsNonEdgeClaimWithoutCrashing) {
+  Graph g(0, {});
+  auto claim = planted_instance(48, 4, &g);
+  claim.neighbors_of[7][1] = 7 == 0 ? 1 : 0;  // likely not adjacent; maybe not even valid
+  claim.neighbors_of[7][0] = 7;               // self-claim: definitely garbage
+  const auto r = run_distributed_verify(g, claim);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(DistributedVerify, RejectsOutOfRangeClaim) {
+  Graph g(0, {});
+  auto claim = planted_instance(32, 5, &g);
+  claim.neighbors_of[3][0] = 9999;
+  const auto r = run_distributed_verify(g, claim);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(DistributedVerify, RejectsWrongSizeClaim) {
+  Graph g(0, {});
+  auto claim = planted_instance(32, 6, &g);
+  claim.neighbors_of.pop_back();
+  const auto r = run_distributed_verify(g, claim);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(DistributedVerify, AgreesWithOfflineVerifierOnRandomCorruptions) {
+  // Property sweep: randomly corrupt entries; in-model and offline verdicts
+  // must agree (modulo both rejecting).
+  support::Rng meta(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g(0, {});
+    auto claim = planted_instance(40, 100 + static_cast<std::uint64_t>(trial), &g);
+    const bool corrupt = meta.bernoulli(0.6);
+    if (corrupt) {
+      const auto victim = static_cast<graph::NodeId>(meta.below(40));
+      claim.neighbors_of[victim][meta.below(2)] = static_cast<graph::NodeId>(meta.below(40));
+    }
+    const bool offline = graph::verify_cycle_incidence(g, claim).ok();
+    const auto distributed = run_distributed_verify(g, claim, meta.next_u64());
+    EXPECT_EQ(distributed.accepted, offline) << "trial " << trial << ": " << distributed.reason;
+  }
+}
+
+}  // namespace
+}  // namespace dhc::core

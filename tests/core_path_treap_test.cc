@@ -1,0 +1,117 @@
+// Tests for the implicit treap behind the sequential rotation solver,
+// validated against a naive std::vector reference model.
+#include "core/path_treap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace dhc::core {
+namespace {
+
+TEST(PathTreap, AppendAndOrder) {
+  PathTreap t(10);
+  EXPECT_EQ(t.size(), 0u);
+  for (NodeId v : {3u, 1u, 4u, 0u}) t.append(v);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.to_vector(), (std::vector<NodeId>{3, 1, 4, 0}));
+}
+
+TEST(PathTreap, PositionsAndAt) {
+  PathTreap t(10);
+  for (NodeId v : {5u, 2u, 8u}) t.append(v);
+  EXPECT_EQ(t.position(5), 1u);
+  EXPECT_EQ(t.position(2), 2u);
+  EXPECT_EQ(t.position(8), 3u);
+  EXPECT_EQ(t.at(1), 5u);
+  EXPECT_EQ(t.at(2), 2u);
+  EXPECT_EQ(t.at(3), 8u);
+}
+
+TEST(PathTreap, ContainsAndDuplicateAppendRejected) {
+  PathTreap t(5);
+  t.append(2);
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_FALSE(t.contains(3));
+  EXPECT_THROW(t.append(2), std::invalid_argument);
+  EXPECT_THROW(t.append(7), std::invalid_argument);
+}
+
+TEST(PathTreap, RotateSuffixMatchesDefinition) {
+  // Path 0 1 2 3 4 5; rotate at j=2 -> 0 1 5 4 3 2 (suffix reversed).
+  PathTreap t(6);
+  for (NodeId v = 0; v < 6; ++v) t.append(v);
+  t.rotate_suffix(2);
+  EXPECT_EQ(t.to_vector(), (std::vector<NodeId>{0, 1, 5, 4, 3, 2}));
+  EXPECT_EQ(t.at(6), 2u);  // new head
+  EXPECT_EQ(t.position(5), 3u);
+}
+
+TEST(PathTreap, RotateAtEndIsNoop) {
+  PathTreap t(4);
+  for (NodeId v = 0; v < 4; ++v) t.append(v);
+  t.rotate_suffix(4);
+  EXPECT_EQ(t.to_vector(), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(PathTreap, RotateWholePathReverses) {
+  PathTreap t(4);
+  for (NodeId v = 0; v < 4; ++v) t.append(v);
+  t.rotate_suffix(1);  // suffix 2..4 reversed: 0 3 2 1
+  EXPECT_EQ(t.to_vector(), (std::vector<NodeId>{0, 3, 2, 1}));
+}
+
+TEST(PathTreap, OutOfRangeQueriesThrow) {
+  PathTreap t(4);
+  t.append(0);
+  EXPECT_THROW(t.at(0), std::invalid_argument);
+  EXPECT_THROW(t.at(2), std::invalid_argument);
+  EXPECT_THROW(t.position(1), std::invalid_argument);
+  EXPECT_THROW(t.rotate_suffix(0), std::invalid_argument);
+  EXPECT_THROW(t.rotate_suffix(2), std::invalid_argument);
+}
+
+// Randomized differential test against a vector reference model.
+class TreapDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreapDifferential, MatchesNaiveModelUnderRandomOps) {
+  support::Rng rng(GetParam());
+  const NodeId capacity = 200;
+  PathTreap treap(capacity, rng.next_u64());
+  std::vector<NodeId> model;
+  std::vector<bool> used(capacity, false);
+
+  for (int op = 0; op < 600; ++op) {
+    const bool can_append = model.size() < capacity;
+    const bool do_append = model.size() < 2 || (can_append && rng.bernoulli(0.4));
+    if (do_append) {
+      NodeId v;
+      do {
+        v = static_cast<NodeId>(rng.below(capacity));
+      } while (used[v]);
+      used[v] = true;
+      treap.append(v);
+      model.push_back(v);
+    } else {
+      const auto j = static_cast<std::uint32_t>(1 + rng.below(model.size()));
+      treap.rotate_suffix(j);
+      std::reverse(model.begin() + j, model.end());
+    }
+    // Spot-check a few positions every iteration; full check periodically.
+    const auto probe = static_cast<std::size_t>(rng.below(model.size()));
+    ASSERT_EQ(treap.at(static_cast<std::uint32_t>(probe + 1)), model[probe]);
+    ASSERT_EQ(treap.position(model[probe]), probe + 1);
+    if (op % 100 == 99) {
+      ASSERT_EQ(treap.to_vector(), model);
+    }
+  }
+  EXPECT_EQ(treap.to_vector(), model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreapDifferential, ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace dhc::core

@@ -1,0 +1,151 @@
+// Tests for the Upcast algorithm (paper §III) and the CollectAll baseline:
+// end-to-end cycles, the root's memory/traffic asymmetry (the "not fully
+// distributed" property), sampling behaviour, and failure handling.
+#include "core/upcast.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace dhc::core {
+namespace {
+
+using graph::Graph;
+
+Graph upcast_gnp(graph::NodeId n, double c, double delta, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return graph::gnp(n, graph::edge_probability(n, c, delta), rng);
+}
+
+TEST(Upcast, EndToEndOnPaperRegime) {
+  // Theorem 17's regime: p = Θ(log n / √n).
+  const Graph g = upcast_gnp(1024, 2.0, 0.5, 1);
+  const auto r = run_upcast(g, 7);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(graph::verify_cycle_incidence(g, r.cycle).ok());
+}
+
+TEST(Upcast, GeneralDeltaRegime) {
+  // Theorem 19: p = Θ(log n / n^{1−ε}).
+  const Graph g = upcast_gnp(2048, 3.0, 2.0 / 3.0, 2);
+  const auto r = run_upcast(g, 11);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(graph::verify_cycle_incidence(g, r.cycle).ok());
+}
+
+TEST(Upcast, RootConcentratesMemoryAndWork) {
+  // The paper's own caveat (§I, §III): the root needs Ω(n) memory, so the
+  // algorithm is not fully distributed.  Verify the asymmetry is real.
+  const Graph g = upcast_gnp(1024, 2.0, 0.5, 3);
+  const auto r = run_upcast(g, 13);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  // Root is the global minimum id = node 0 for connected G(n,p).
+  const auto root_mem = r.metrics.node_peak_memory_words[0];
+  EXPECT_GE(root_mem, static_cast<std::int64_t>(g.n()));  // Θ(n log n) stored
+  // Typical (median) node memory stays tiny compared to the root.
+  std::vector<std::int64_t> mems = r.metrics.node_peak_memory_words;
+  std::nth_element(mems.begin(), mems.begin() + static_cast<std::ptrdiff_t>(mems.size() / 2), mems.end());
+  EXPECT_GT(root_mem, 10 * mems[mems.size() / 2]);
+  // Root compute (the local solve) dominates any other node's.
+  EXPECT_EQ(r.metrics.max_node_compute(), r.metrics.node_compute_ops[0]);
+  EXPECT_GT(r.stat("root_solve_steps"), 0.0);
+}
+
+TEST(Upcast, SampleSizeTracksConfiguredC) {
+  const Graph g = upcast_gnp(512, 2.0, 0.5, 4);
+  UpcastConfig small;
+  small.sample_c = 2.0;
+  UpcastConfig large;
+  large.sample_c = 6.0;
+  const auto rs = run_upcast(g, 17, small);
+  const auto rl = run_upcast(g, 17, large);
+  EXPECT_GT(rl.stat("sampled_edges"), rs.stat("sampled_edges") * 2.0);
+}
+
+TEST(Upcast, CollectAllShipsEverythingAndIsSlower) {
+  const Graph g = upcast_gnp(512, 2.0, 0.5, 5);
+  UpcastConfig all;
+  all.collect_all = true;
+  const auto ra = run_upcast(g, 19, all);
+  const auto rs = run_upcast(g, 19);
+  ASSERT_TRUE(ra.success) << ra.failure_reason;
+  ASSERT_TRUE(rs.success) << rs.failure_reason;
+  // Every edge is shipped twice (once per endpoint).
+  EXPECT_EQ(ra.stat("sampled_edges"), 2.0 * static_cast<double>(g.m()));
+  // The trivial baseline pays for it in rounds and messages.
+  EXPECT_GT(ra.metrics.rounds, rs.metrics.rounds);
+  EXPECT_GT(ra.metrics.messages, rs.metrics.messages);
+}
+
+TEST(Upcast, DeterministicAcrossRuns) {
+  const Graph g = upcast_gnp(512, 2.0, 0.5, 6);
+  const auto a = run_upcast(g, 23);
+  const auto b = run_upcast(g, 23);
+  ASSERT_TRUE(a.success);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.cycle.neighbors_of, b.cycle.neighbors_of);
+}
+
+TEST(Upcast, TooSparseSampleFailsGracefully) {
+  // A sample far below the Hamiltonicity threshold of the sampled graph
+  // makes the root's local solve fail; the protocol must report it.
+  const Graph g = upcast_gnp(512, 2.0, 0.5, 7);
+  UpcastConfig cfg;
+  cfg.sample_c = 0.1;  // ~1 edge per node
+  const auto r = run_upcast(g, 29, cfg);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.metrics.hit_round_limit);
+  EXPECT_NE(r.failure_reason.find("root failed"), std::string::npos);
+}
+
+TEST(Upcast, DisconnectedGraphFailsGracefully) {
+  support::Rng rng(8);
+  const Graph a = graph::gnp(40, 0.5, rng);
+  const Graph b = graph::gnp(40, 0.5, rng);
+  std::vector<graph::Edge> edges = a.edges();
+  for (const auto& [u, v] : b.edges()) {
+    edges.emplace_back(static_cast<graph::NodeId>(u + 40), static_cast<graph::NodeId>(v + 40));
+  }
+  const Graph g(80, edges);
+  const auto r = run_upcast(g, 31);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.metrics.hit_round_limit);
+}
+
+TEST(Upcast, TinyGraphRejected) {
+  const Graph g(2, {{0, 1}});
+  EXPECT_FALSE(run_upcast(g, 1).success);
+}
+
+TEST(Upcast, PhaseBreakdownRecorded) {
+  const Graph g = upcast_gnp(512, 2.0, 0.5, 9);
+  const auto r = run_upcast(g, 37);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GT(r.metrics.phase_rounds("upcast"), 0u);
+  EXPECT_GT(r.metrics.phase_rounds("downcast"), 0u);
+  // Downcast routes the same volume back, so it should be within a small
+  // factor of the upcast (paper §III-A step 4).
+  const double up = static_cast<double>(r.metrics.phase_rounds("upcast"));
+  const double down = static_cast<double>(r.metrics.phase_rounds("downcast"));
+  EXPECT_LT(down, 4.0 * up + 64.0);
+}
+
+class UpcastSweep : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(UpcastSweep, VerifiedCycleAcrossSeedsAndDeltas) {
+  const auto [seed, delta] = GetParam();
+  const Graph g = upcast_gnp(1024, 2.5, delta, seed * 50);
+  const auto r = run_upcast(g, seed);
+  ASSERT_TRUE(r.success) << "seed=" << seed << " delta=" << delta << ": " << r.failure_reason;
+  EXPECT_TRUE(graph::verify_cycle_incidence(g, r.cycle).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UpcastSweep,
+                         ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                                            ::testing::Values(0.4, 0.5, 0.75)));
+
+}  // namespace
+}  // namespace dhc::core

@@ -1,0 +1,114 @@
+// Unit tests for the CSR Graph core: construction, adjacency queries,
+// canonicalization, and induced subgraphs.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dhc::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(0, {});
+  EXPECT_EQ(g.n(), 0u);
+  EXPECT_EQ(g.m(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, SingleNodeNoEdges) {
+  const Graph g(1, {});
+  EXPECT_EQ(g.n(), 1u);
+  EXPECT_EQ(g.m(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.n(), 3u);
+  EXPECT_EQ(g.m(), 3u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, DuplicateAndReversedEdgesMerged) {
+  const Graph g(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.m(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeEdgeRejected) {
+  EXPECT_THROW(Graph(3, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW(Graph(3, {{7, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const Graph g(6, {{3, 5}, {3, 1}, {3, 4}, {3, 0}});
+  const auto nb = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, HasEdgeNegativeCases) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_THROW(g.has_edge(0, 4), std::invalid_argument);
+}
+
+TEST(Graph, EdgesRoundTripCanonical) {
+  const std::vector<Edge> in{{2, 0}, {1, 3}, {0, 1}};
+  const Graph g(4, in);
+  const auto out = g.edges();
+  EXPECT_EQ(out, (std::vector<Edge>{{0, 1}, {0, 2}, {1, 3}}));
+}
+
+TEST(Graph, MaxDegreeStar) {
+  const Graph g(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(InducedSubgraph, PreservesInternalEdgesOnly) {
+  // Square 0-1-2-3 plus diagonal 0-2; induce on {0, 1, 2}.
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  const std::vector<NodeId> nodes{0, 1, 2};
+  const auto sub = induced_subgraph(g, nodes);
+  EXPECT_EQ(sub.graph.n(), 3u);
+  EXPECT_EQ(sub.graph.m(), 3u);  // edges 0-1, 1-2, 0-2
+  EXPECT_EQ(sub.to_original, nodes);
+  EXPECT_TRUE(sub.graph.has_edge(0, 2));
+}
+
+TEST(InducedSubgraph, RespectsNodeOrderMapping) {
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<NodeId> nodes{3, 1, 2};
+  const auto sub = induced_subgraph(g, nodes);
+  // new ids: 3->0, 1->1, 2->2; edges 1-2 (old) -> 1-2 (new), 2-3 (old) -> 2-0.
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));
+  EXPECT_TRUE(sub.graph.has_edge(0, 2));
+  EXPECT_FALSE(sub.graph.has_edge(0, 1));
+}
+
+TEST(InducedSubgraph, DuplicateNodesRejected) {
+  const Graph g(3, {{0, 1}});
+  const std::vector<NodeId> nodes{0, 0};
+  EXPECT_THROW(induced_subgraph(g, nodes), std::invalid_argument);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const Graph g(3, {{0, 1}});
+  const std::vector<NodeId> nodes;
+  const auto sub = induced_subgraph(g, nodes);
+  EXPECT_EQ(sub.graph.n(), 0u);
+}
+
+}  // namespace
+}  // namespace dhc::graph

@@ -1,0 +1,183 @@
+// Tests for the Hamiltonian-cycle verifier — the oracle every solver result
+// is checked against.  Includes property-style sweeps: valid cycles under
+// random relabelings must verify; random single-field corruptions must not.
+#include "graph/hamiltonian.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace dhc::graph {
+namespace {
+
+CycleOrder identity_cycle(NodeId n) {
+  CycleOrder c;
+  c.order.resize(n);
+  std::iota(c.order.begin(), c.order.end(), 0);
+  return c;
+}
+
+TEST(VerifyOrder, AcceptsCycleGraphIdentity) {
+  const Graph g = cycle_graph(8);
+  EXPECT_TRUE(verify_cycle_order(g, identity_cycle(8)).ok());
+}
+
+TEST(VerifyOrder, AcceptsRotationsAndReversal) {
+  const Graph g = cycle_graph(6);
+  CycleOrder c = identity_cycle(6);
+  std::rotate(c.order.begin(), c.order.begin() + 2, c.order.end());
+  EXPECT_TRUE(verify_cycle_order(g, c).ok());
+  std::reverse(c.order.begin(), c.order.end());
+  EXPECT_TRUE(verify_cycle_order(g, c).ok());
+}
+
+TEST(VerifyOrder, RejectsWrongLength) {
+  const Graph g = cycle_graph(6);
+  CycleOrder c = identity_cycle(5);
+  EXPECT_FALSE(verify_cycle_order(g, c).ok());
+}
+
+TEST(VerifyOrder, RejectsRepeatedNode) {
+  const Graph g = cycle_graph(5);
+  CycleOrder c{{0, 1, 2, 3, 0}};
+  const auto r = verify_cycle_order(g, c);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.failure->find("twice"), std::string::npos);
+}
+
+TEST(VerifyOrder, RejectsNonEdge) {
+  const Graph g = cycle_graph(5);
+  CycleOrder c{{0, 2, 4, 1, 3}};  // pentagram order: chords, not edges
+  EXPECT_FALSE(verify_cycle_order(g, c).ok());
+}
+
+TEST(VerifyOrder, RejectsOutOfRangeNode) {
+  const Graph g = cycle_graph(5);
+  CycleOrder c{{0, 1, 2, 3, 9}};
+  EXPECT_FALSE(verify_cycle_order(g, c).ok());
+}
+
+TEST(VerifyOrder, TinyGraphsRejected) {
+  const Graph g(2, {{0, 1}});
+  CycleOrder c{{0, 1}};
+  EXPECT_FALSE(verify_cycle_order(g, c).ok());
+}
+
+TEST(VerifyOrder, CompleteGraphAcceptsAnyPermutation) {
+  support::Rng rng(1);
+  const Graph g = complete_graph(12);
+  CycleOrder c = identity_cycle(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    rng.shuffle(std::span<NodeId>(c.order));
+    EXPECT_TRUE(verify_cycle_order(g, c).ok());
+  }
+}
+
+TEST(Incidence, RoundTripOrderToIncidenceToOrder) {
+  support::Rng rng(2);
+  const Graph g = complete_graph(9);
+  CycleOrder c = identity_cycle(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.shuffle(std::span<NodeId>(c.order));
+    const auto inc = incidence_from_order(c);
+    EXPECT_TRUE(verify_cycle_incidence(g, inc).ok());
+    const auto back = order_from_incidence(inc);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(verify_cycle_order(g, *back).ok());
+  }
+}
+
+TEST(Incidence, RejectsTwoDisjointTriangles) {
+  // Two triangles: 0-1-2 and 3-4-5.  Every node has degree 2 and symmetry
+  // holds, but this is not a single 6-cycle.
+  const Graph g(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  CycleIncidence inc;
+  inc.neighbors_of = {{2, 1}, {0, 2}, {1, 0}, {5, 4}, {3, 5}, {4, 3}};
+  const auto r = verify_cycle_incidence(g, inc);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.failure->find("disjoint"), std::string::npos);
+}
+
+TEST(Incidence, RejectsAsymmetricNaming) {
+  const Graph g = complete_graph(4);
+  CycleIncidence inc;
+  inc.neighbors_of = {{1, 3}, {0, 2}, {1, 3}, {2, 1}};  // 3 names 1, 1 doesn't name 3
+  EXPECT_FALSE(verify_cycle_incidence(g, inc).ok());
+}
+
+TEST(Incidence, RejectsSelfNaming) {
+  const Graph g = complete_graph(4);
+  CycleIncidence inc;
+  inc.neighbors_of = {{0, 1}, {0, 2}, {1, 3}, {2, 0}};
+  EXPECT_FALSE(verify_cycle_incidence(g, inc).ok());
+}
+
+TEST(Incidence, RejectsDuplicateNeighbor) {
+  const Graph g = complete_graph(4);
+  CycleIncidence inc;
+  inc.neighbors_of = {{1, 1}, {0, 2}, {1, 3}, {2, 0}};
+  EXPECT_FALSE(verify_cycle_incidence(g, inc).ok());
+}
+
+TEST(Incidence, RejectsNonGraphEdge) {
+  const Graph g = cycle_graph(4);  // square without diagonals
+  CycleIncidence inc;
+  inc.neighbors_of = {{2, 1}, {0, 3}, {3, 0}, {1, 2}};  // uses diagonals 0-2, 1-3
+  EXPECT_FALSE(verify_cycle_incidence(g, inc).ok());
+}
+
+TEST(Incidence, RejectsWrongNodeCount) {
+  const Graph g = cycle_graph(5);
+  CycleIncidence inc;
+  inc.neighbors_of = {{4, 1}, {0, 2}, {1, 3}, {2, 4}};  // only 4 entries
+  EXPECT_FALSE(verify_cycle_incidence(g, inc).ok());
+}
+
+TEST(CycleEdges, CanonicalEdgeList) {
+  CycleOrder c{{2, 0, 1}};
+  const auto edges = cycle_edges(c);
+  EXPECT_EQ(edges.size(), 3u);
+  EXPECT_NE(std::find(edges.begin(), edges.end(), Edge{0, 2}), edges.end());
+  EXPECT_NE(std::find(edges.begin(), edges.end(), Edge{0, 1}), edges.end());
+  EXPECT_NE(std::find(edges.begin(), edges.end(), Edge{1, 2}), edges.end());
+}
+
+// Property sweep: random Hamiltonian cycles planted in random graphs verify;
+// corrupting any single incidence entry must break verification.
+class IncidenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncidenceProperty, PlantedCycleVerifiesAndCorruptionFails) {
+  support::Rng rng(GetParam());
+  const NodeId n = 24;
+  // Plant a random cycle, then add random chords.
+  CycleOrder planted = identity_cycle(n);
+  rng.shuffle(std::span<NodeId>(planted.order));
+  auto edges = cycle_edges(planted);
+  for (int extra = 0; extra < 40; ++extra) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u != v) edges.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  const Graph g(n, edges);
+  EXPECT_TRUE(verify_cycle_order(g, planted).ok());
+
+  auto inc = incidence_from_order(planted);
+  EXPECT_TRUE(verify_cycle_incidence(g, inc).ok());
+
+  // Corrupt one entry: point node v's first cycle neighbor at a random node.
+  const auto victim = static_cast<NodeId>(rng.below(n));
+  const auto wrong = static_cast<NodeId>(rng.below(n));
+  auto corrupted = inc;
+  corrupted.neighbors_of[victim][0] = wrong;
+  if (corrupted.neighbors_of[victim] != inc.neighbors_of[victim]) {
+    EXPECT_FALSE(verify_cycle_incidence(g, corrupted).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncidenceProperty, ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace dhc::graph

@@ -1,0 +1,124 @@
+// Tests for graph/cycle serialization round trips and malformed input.
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace dhc::graph {
+namespace {
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  support::Rng rng(1);
+  const Graph g = gnp(100, 0.1, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph back = read_edge_list(ss);
+  EXPECT_EQ(back.n(), g.n());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  std::stringstream ss;
+  write_edge_list(ss, Graph(5, {}));
+  const Graph back = read_edge_list(ss);
+  EXPECT_EQ(back.n(), 5u);
+  EXPECT_EQ(back.m(), 0u);
+}
+
+TEST(GraphIo, MalformedInputsThrow) {
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("4 2\n0 1\n");  // promises 2 edges, has 1
+    EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("4 1\n0 9\n");  // out-of-range endpoint
+    EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("3 1\n1 1\n");  // self loop rejected by Graph
+    EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+  }
+}
+
+TEST(GraphIo, CycleRoundTrip) {
+  CycleOrder cycle{{4, 2, 0, 1, 3}};
+  std::stringstream ss;
+  write_cycle(ss, cycle);
+  const CycleOrder back = read_cycle(ss);
+  EXPECT_EQ(back.order, cycle.order);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  support::Rng rng(2);
+  const Graph g = gnp(50, 0.2, rng);
+  const std::string path = ::testing::TempDir() + "/dhc_io_test_graph.txt";
+  save_edge_list(path, g);
+  const Graph back = load_edge_list(path);
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/dir/graph.txt"), std::invalid_argument);
+}
+
+TEST(ChungLu, ExpectedDegreesTrackWeights) {
+  // Uniform weights w: reduces to G(n, w/n)-ish; degree ≈ w.
+  support::Rng rng(3);
+  const graph::NodeId n = 2000;
+  std::vector<double> weights(n, 20.0);
+  const Graph g = chung_lu(weights, rng);
+  const double avg_deg = 2.0 * static_cast<double>(g.m()) / n;
+  EXPECT_NEAR(avg_deg, 20.0, 1.5);
+}
+
+TEST(ChungLu, HeavyNodesGetMoreEdges) {
+  support::Rng rng(4);
+  const graph::NodeId n = 1000;
+  std::vector<double> weights(n, 5.0);
+  weights[0] = 100.0;  // one hub
+  const Graph g = chung_lu(weights, rng);
+  EXPECT_GT(g.degree(0), 50u);
+  const double avg_other = 2.0 * static_cast<double>(g.m()) / n;
+  EXPECT_GT(static_cast<double>(g.degree(0)), 3.0 * avg_other);
+}
+
+TEST(ChungLu, ZeroWeightsAndTinyInputs) {
+  support::Rng rng(5);
+  const std::vector<double> zeros(10, 0.0);
+  EXPECT_EQ(chung_lu(zeros, rng).m(), 0u);
+  const std::vector<double> one{3.0};
+  EXPECT_EQ(chung_lu(one, rng).n(), 1u);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(chung_lu(negative, rng), std::invalid_argument);
+}
+
+TEST(ChungLu, Deterministic) {
+  const auto weights = power_law_weights(500, 2.5, 12.0);
+  support::Rng a(6);
+  support::Rng b(6);
+  EXPECT_EQ(chung_lu(weights, a).edges(), chung_lu(weights, b).edges());
+}
+
+TEST(PowerLawWeights, MeanMatchesTarget) {
+  const auto weights = power_law_weights(5000, 2.5, 10.0);
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  EXPECT_NEAR(sum / 5000.0, 10.0, 1e-9);
+  // Heavy head, light tail.
+  EXPECT_GT(weights.front(), weights.back() * 10.0);
+}
+
+TEST(PowerLawWeights, RejectsBadParameters) {
+  EXPECT_THROW(power_law_weights(10, 2.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(power_law_weights(10, 3.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dhc::graph

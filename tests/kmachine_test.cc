@@ -1,0 +1,97 @@
+// Tests for the k-machine model conversion (paper §IV).
+#include "kmachine/kmachine.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dhc::kmachine {
+namespace {
+
+TEST(KMachineCost, PartitionCoversAllMachinesAndIsDeterministic) {
+  KMachineCost a(1000, 8, 4, 42);
+  KMachineCost b(1000, 8, 4, 42);
+  std::vector<int> seen(8, 0);
+  for (NodeId v = 0; v < 1000; ++v) {
+    EXPECT_EQ(a.machine_of(v), b.machine_of(v));
+    EXPECT_LT(a.machine_of(v), 8u);
+    seen[a.machine_of(v)] += 1;
+  }
+  for (const int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(KMachineCost, LocalMessagesAreFree) {
+  KMachineCost cost(10, 2, 1, 1);
+  // Find two co-located nodes and two separated nodes.
+  NodeId same_a = 0, same_b = 0, cross_a = 0, cross_b = 0;
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = 0; v < 10; ++v) {
+      if (u == v) continue;
+      if (cost.machine_of(u) == cost.machine_of(v)) {
+        same_a = u;
+        same_b = v;
+      } else {
+        cross_a = u;
+        cross_b = v;
+      }
+    }
+  }
+  cost.on_send(same_a, same_b, 1);
+  EXPECT_EQ(cost.kmachine_rounds(), 0u);
+  EXPECT_EQ(cost.local_messages(), 1u);
+  cost.on_send(cross_a, cross_b, 2);
+  EXPECT_EQ(cost.kmachine_rounds(), 1u);
+  EXPECT_EQ(cost.cross_messages(), 1u);
+}
+
+TEST(KMachineCost, BandwidthDividesLinkLoad) {
+  // 6 messages over one link in one round: bandwidth 1 -> 6 rounds,
+  // bandwidth 4 -> 2 rounds.
+  for (const auto& [bw, expect] : {std::pair<std::uint64_t, std::uint64_t>{1, 6}, {4, 2}}) {
+    KMachineCost cost(4, 2, bw, 3);
+    NodeId u = 0, v = 0;
+    for (NodeId x = 1; x < 4; ++x) {
+      if (cost.machine_of(x) != cost.machine_of(0)) v = x;
+    }
+    ASSERT_NE(v, 0u);
+    for (int i = 0; i < 6; ++i) cost.on_send(u, v, 1);
+    EXPECT_EQ(cost.kmachine_rounds(), expect) << "bw=" << bw;
+  }
+}
+
+TEST(KMachineCost, RoundsAccumulateAcrossCongestRounds) {
+  KMachineCost cost(4, 2, 1, 3);
+  NodeId u = 0, v = 0;
+  for (NodeId x = 1; x < 4; ++x) {
+    if (cost.machine_of(x) != cost.machine_of(0)) v = x;
+  }
+  cost.on_send(u, v, 1);
+  cost.on_send(u, v, 2);
+  cost.on_send(u, v, 5);
+  EXPECT_EQ(cost.kmachine_rounds(), 3u);
+}
+
+TEST(KMachineCost, RejectsDegenerateParameters) {
+  EXPECT_THROW(KMachineCost(10, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(KMachineCost(10, 2, 0, 1), std::invalid_argument);
+}
+
+TEST(ConvertDhc2, EndToEndAndMoreMachinesHelp) {
+  support::Rng rng(5);
+  const auto g = graph::gnp(512, graph::edge_probability(512, 2.5, 0.5), rng);
+  core::Dhc2Config cfg;
+  cfg.delta = 0.5;
+  const auto r4 = convert_dhc2(g, 9, /*k=*/4, /*bandwidth=*/16, cfg);
+  const auto r16 = convert_dhc2(g, 9, /*k=*/16, /*bandwidth=*/16, cfg);
+  ASSERT_TRUE(r4.success);
+  ASSERT_TRUE(r16.success);
+  EXPECT_EQ(r4.congest_rounds, r16.congest_rounds);  // same underlying run
+  EXPECT_GT(r4.kmachine_rounds, 0u);
+  // More machines spread the same traffic over more links: fewer converted
+  // rounds (the busiest link carries less).
+  EXPECT_LT(r16.kmachine_rounds, r4.kmachine_rounds);
+  EXPECT_GT(r16.cross_messages, r4.cross_messages);  // fewer co-located pairs
+}
+
+}  // namespace
+}  // namespace dhc::kmachine

@@ -1,0 +1,212 @@
+// Unit tests for dhc::support::Rng — determinism, distribution sanity,
+// stream independence, and the sampling helpers used by the generators.
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace dhc::support {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // xoshiro must not be seeded into the all-zero state; outputs must vary.
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(r.next_u64());
+  EXPECT_GT(values.size(), 90u);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng r(1);
+  EXPECT_THROW(r.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng r(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(kBound)];
+  // Each bucket expects 10000; allow 5% relative deviation (>6 sigma).
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBound), 500);
+  }
+}
+
+TEST(Rng, UniformInclusiveRange) {
+  Rng r(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = r.uniform(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformEmptyRangeThrows) {
+  Rng r(3);
+  EXPECT_THROW(r.uniform(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(6);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricSkipMeanMatchesTheory) {
+  Rng r(8);
+  const double p = 0.1;
+  const double log1mp = std::log1p(-p);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(r.geometric_skip(log1mp));
+  // E[floor(ln U / ln(1-p))] = (1-p)/p = 9 for p = 0.1.
+  EXPECT_NEAR(sum / kDraws, 9.0, 0.3);
+}
+
+TEST(Rng, PickReturnsElementAndCoversAll) {
+  Rng r(13);
+  const std::vector<int> items{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.pick(std::span<const int>(items)));
+  EXPECT_EQ(seen, (std::set<int>{10, 20, 30}));
+}
+
+TEST(Rng, PickEmptyThrows) {
+  Rng r(13);
+  const std::vector<int> empty;
+  EXPECT_THROW(r.pick(std::span<const int>(empty)), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(17);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  r.shuffle(std::span<int>(v));
+  EXPECT_NE(v, original);  // probability 1/100! of flaking
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValuesInRange) {
+  Rng r(19);
+  const auto sample = r.sample_distinct(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto x : sample) EXPECT_LT(x, 100u);
+}
+
+TEST(Rng, SampleDistinctFullRange) {
+  Rng r(19);
+  const auto sample = r.sample_distinct(10, 10);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleDistinctTooManyThrows) {
+  Rng r(19);
+  EXPECT_THROW(r.sample_distinct(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, StreamsAreDeterministicAndDistinct) {
+  const Rng parent(99);
+  Rng s0a = parent.stream(0);
+  Rng s0b = parent.stream(0);
+  Rng s1 = parent.stream(1);
+  int equal01 = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto a = s0a.next_u64();
+    EXPECT_EQ(a, s0b.next_u64());
+    if (a == s1.next_u64()) ++equal01;
+  }
+  EXPECT_LT(equal01, 3);
+}
+
+TEST(Rng, ManyStreamsPairwiseDistinctPrefix) {
+  const Rng parent(123);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    Rng s = parent.stream(i);
+    firsts.insert(s.next_u64());
+  }
+  EXPECT_EQ(firsts.size(), 1000u);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dhc::support
