@@ -7,11 +7,19 @@
 // four on identical graphs (p = c·ln n / √n) and check who wins and whether
 // the gap to CollectAll grows with n.
 //
-// Flags: --sizes=..., --seeds=N, --c=X.
+// One runner scenario covers the whole sweep (4 algorithms × sizes × seeds),
+// executed on the worker pool; aggregates are independent of --threads.
+// Graph seeds depend only on (n, seed index), so all four algorithms run on
+// identical instances — the comparison is paired.
+//
+// Flags: --sizes=..., --seeds=N, --c=X, --threads=N.
 #include "bench_util.h"
-#include "core/dhc1.h"
-#include "core/dhc2.h"
-#include "core/upcast.h"
+
+#include <map>
+
+#include "runner/aggregator.h"
+#include "runner/scenario.h"
+#include "runner/trial_runner.h"
 
 int main(int argc, char** argv) {
   using namespace dhc;
@@ -19,6 +27,8 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 3));
   const double c = cli.get_double("c", 2.5);
   const auto sizes = cli.get_int_list("sizes", {512, 1024, 2048});
+  runner::RunnerOptions opt;
+  opt.threads = static_cast<unsigned>(cli.get_int("threads", 0));
 
   bench::banner("EXP-C1",
                 "Who wins: DHC1/DHC2 and Upcast in O~(1/p) rounds vs the trivial O(m) "
@@ -26,53 +36,48 @@ int main(int argc, char** argv) {
                 "p = c ln n / sqrt n, c = " + support::Table::num(c, 1) +
                     ", seeds = " + std::to_string(seeds));
 
+  runner::Scenario scenario;
+  scenario.name = "exp-c1-comparison";
+  scenario.algos = {runner::Algorithm::kDhc1, runner::Algorithm::kDhc2,
+                    runner::Algorithm::kUpcast, runner::Algorithm::kCollectAll};
+  scenario.sizes = sizes;
+  scenario.deltas = {0.5};
+  scenario.cs = {c};
+  scenario.seeds = seeds;
+  scenario.base_seed = 800;
+
+  const auto trials = runner::expand(scenario);
+  const auto summaries = runner::aggregate(trials, runner::run_trials(trials, opt));
+
+  // Index the cells by (algorithm, n) so rows print grouped by n, the
+  // paper-table layout, regardless of expansion order.
+  std::map<std::pair<runner::Algorithm, std::int64_t>, const runner::ConfigSummary*> cells;
+  for (const auto& s : summaries) {
+    cells[{s.config.algo, static_cast<std::int64_t>(s.config.n)}] = &s;
+  }
+
   support::Table table({"n", "algorithm", "median rounds", "median messages", "success"});
   std::vector<double> collect_ratio;
   for (const auto size : sizes) {
-    const auto n = static_cast<graph::NodeId>(size);
-    struct Row {
-      const char* name;
-      std::vector<double> rounds;
-      std::vector<double> messages;
-      int ok = 0;
-    };
-    Row rows[] = {{"dhc1", {}, {}, 0},
-                  {"dhc2", {}, {}, 0},
-                  {"upcast", {}, {}, 0},
-                  {"collect-all", {}, {}, 0}};
-    for (std::uint64_t s = 1; s <= seeds; ++s) {
-      const auto g = bench::make_instance(n, c, 0.5, s + 800);
-      core::Result results[4];
-      results[0] = core::run_dhc1(g, s * 11 + 1);
-      core::Dhc2Config d2;
-      d2.delta = 0.5;
-      results[1] = core::run_dhc2(g, s * 13 + 2, d2);
-      results[2] = core::run_upcast(g, s * 17 + 3);
-      core::UpcastConfig all;
-      all.collect_all = true;
-      results[3] = core::run_upcast(g, s * 19 + 4, all);
-      for (int i = 0; i < 4; ++i) {
-        if (!results[i].success) continue;
-        ++rows[i].ok;
-        rows[i].rounds.push_back(static_cast<double>(results[i].metrics.rounds));
-        rows[i].messages.push_back(static_cast<double>(results[i].metrics.messages));
-      }
-    }
     double best_distributed = 1e18;
     double collect_all_rounds = 0;
-    for (auto& row : rows) {
-      if (row.rounds.empty()) {
-        table.add_row({support::Table::num(static_cast<std::uint64_t>(n)), row.name, "-", "-",
+    for (const auto algo : scenario.algos) {
+      const auto* s = cells.at({algo, size});
+      const std::string name = runner::to_string(algo);
+      if (s->successes == 0) {
+        table.add_row({support::Table::num(static_cast<std::uint64_t>(size)), name, "-", "-",
                        "0/" + std::to_string(seeds)});
         continue;
       }
-      const double med = support::quantile(row.rounds, 0.5);
-      if (std::string(row.name) != "collect-all") best_distributed = std::min(best_distributed, med);
-      if (std::string(row.name) == "collect-all") collect_all_rounds = med;
-      table.add_row({support::Table::num(static_cast<std::uint64_t>(n)), row.name,
-                     support::Table::num(med, 0),
-                     support::Table::num(support::quantile(row.messages, 0.5), 0),
-                     std::to_string(row.ok) + "/" + std::to_string(seeds)});
+      const double med = s->rounds.median;
+      if (algo == runner::Algorithm::kCollectAll) {
+        collect_all_rounds = med;
+      } else {
+        best_distributed = std::min(best_distributed, med);
+      }
+      table.add_row({support::Table::num(static_cast<std::uint64_t>(size)), name,
+                     support::Table::num(med, 0), support::Table::num(s->messages.median, 0),
+                     std::to_string(s->successes) + "/" + std::to_string(s->trials)});
     }
     if (collect_all_rounds > 0 && best_distributed < 1e17) {
       collect_ratio.push_back(collect_all_rounds / best_distributed);

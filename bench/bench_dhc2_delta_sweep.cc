@@ -5,9 +5,16 @@
 // both δ and n: per δ, the log-log slope of rounds vs n should track δ; at
 // fixed n, rounds must increase with δ (denser ⇒ faster).
 //
-// Flags: --sizes=..., --deltas=..., --seeds=N, --c=X.
+// Trials run through the runner subsystem (src/runner/); each δ is one
+// scenario (its density constant is adjusted per δ, see below) and all
+// seeds execute on the worker pool.
+//
+// Flags: --sizes=..., --deltas=..., --seeds=N, --c=X, --threads=N.
 #include "bench_util.h"
-#include "core/dhc2.h"
+
+#include "runner/aggregator.h"
+#include "runner/scenario.h"
+#include "runner/trial_runner.h"
 
 int main(int argc, char** argv) {
   using namespace dhc;
@@ -18,6 +25,8 @@ int main(int argc, char** argv) {
   const double c = cli.get_double("c", 4.0);
   const auto sizes = cli.get_int_list("sizes", {512, 1024, 2048});
   const auto deltas = cli.get_double_list("deltas", {0.5, 0.75, 1.0});
+  runner::RunnerOptions opt;
+  opt.threads = static_cast<unsigned>(cli.get_int("threads", 0));
 
   bench::banner("EXP-T10",
                 "Theorem 10: DHC2 runs in O~(n^delta) rounds; denser graph => faster",
@@ -29,43 +38,44 @@ int main(int argc, char** argv) {
   std::vector<std::pair<double, double>> at_largest;
   bool slopes_ok = true;
   for (const double delta : deltas) {
-    std::vector<double> ns;
-    std::vector<double> rounds_series;
+    runner::Scenario scenario;
+    scenario.name = "exp-t10-delta";
+    scenario.algos = {runner::Algorithm::kDhc2};
+    scenario.deltas = {delta};
+    // Large partitions need a larger density constant for one-shot whp
+    // success (EXP-P1: the practical threshold scales with partition
+    // size); δ = 1 is a single n-sized partition.
+    scenario.cs = {(delta >= 0.999) ? std::max(c, 8.0) : c};
+    scenario.seeds = seeds;
+    scenario.base_seed = 100;
+    scenario.sizes.clear();
     for (const auto size : sizes) {
-      const auto n = static_cast<graph::NodeId>(size);
       // Skip combinations whose partitions are below the rotation
       // algorithm's working size (EXP-P1).
-      if (std::pow(static_cast<double>(n), delta) < 22.0) continue;
-      // Large partitions need a larger density constant for one-shot whp
-      // success (EXP-P1: the practical threshold scales with partition
-      // size); δ = 1 is a single n-sized partition.
-      const double c_eff = (delta >= 0.999) ? std::max(c, 8.0) : c;
-      std::vector<double> rounds;
-      double colors = 0;
-      int successes = 0;
-      for (std::uint64_t s = 1; s <= seeds; ++s) {
-        const auto g = bench::make_instance(n, c_eff, delta, s + 100);
-        core::Dhc2Config cfg;
-        cfg.delta = delta;
-        const auto r = core::run_dhc2(g, s * 211 + 17, cfg);
-        colors = r.stat("num_colors");
-        if (!r.success) continue;
-        ++successes;
-        rounds.push_back(static_cast<double>(r.metrics.rounds));
-      }
-      if (rounds.empty()) continue;
-      const double med = support::quantile(rounds, 0.5);
-      const double normalized =
-          med / (std::pow(static_cast<double>(n), delta) *
-                 bench::polylog_factor(static_cast<double>(n)));
-      ns.push_back(static_cast<double>(n));
+      if (std::pow(static_cast<double>(size), delta) >= 22.0) scenario.sizes.push_back(size);
+    }
+    if (scenario.sizes.empty()) continue;
+
+    const auto trials = runner::expand(scenario);
+    const auto summaries = runner::aggregate(trials, runner::run_trials(trials, opt));
+
+    std::vector<double> ns;
+    std::vector<double> rounds_series;
+    for (const auto& s : summaries) {
+      if (s.successes == 0) continue;
+      const auto n = static_cast<double>(s.config.n);
+      const double med = s.rounds.median;
+      const double normalized = med / (std::pow(n, delta) * bench::polylog_factor(n));
+      ns.push_back(n);
       rounds_series.push_back(med);
-      if (size == sizes.back()) at_largest.emplace_back(delta, med);
+      if (s.config.n == static_cast<graph::NodeId>(sizes.back())) {
+        at_largest.emplace_back(delta, med);
+      }
       table.add_row({support::Table::num(delta, 2),
-                     support::Table::num(static_cast<std::uint64_t>(n)),
-                     support::Table::num(colors, 0), support::Table::num(med, 0),
-                     support::Table::num(normalized, 3),
-                     std::to_string(successes) + "/" + std::to_string(seeds)});
+                     support::Table::num(static_cast<std::uint64_t>(s.config.n)),
+                     support::Table::num(s.stat_means.at("num_colors"), 0),
+                     support::Table::num(med, 0), support::Table::num(normalized, 3),
+                     std::to_string(s.successes) + "/" + std::to_string(s.trials)});
     }
     if (ns.size() >= 2) {
       const double slope = support::loglog_slope(ns, rounds_series);

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "congest/metrics.h"
 #include "graph/hamiltonian.h"

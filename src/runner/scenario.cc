@@ -1,0 +1,324 @@
+#include "runner/scenario.h"
+
+#include <bit>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace dhc::runner {
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSequential: return "sequential";
+    case Algorithm::kDra: return "dra";
+    case Algorithm::kDhc1: return "dhc1";
+    case Algorithm::kDhc2: return "dhc2";
+    case Algorithm::kUpcast: return "upcast";
+    case Algorithm::kCollectAll: return "collect-all";
+    case Algorithm::kDhc2KMachine: return "dhc2-kmachine";
+  }
+  return "?";
+}
+
+std::string to_string(GraphFamily f) {
+  switch (f) {
+    case GraphFamily::kGnp: return "gnp";
+    case GraphFamily::kGnm: return "gnm";
+    case GraphFamily::kRegular: return "regular";
+  }
+  return "?";
+}
+
+std::string to_string(core::MergeStrategy s) {
+  return s == core::MergeStrategy::kMinForward ? "minforward" : "fullqueue";
+}
+
+Algorithm parse_algorithm(const std::string& s) {
+  if (s == "sequential" || s == "seq" || s == "rotation") return Algorithm::kSequential;
+  if (s == "dra") return Algorithm::kDra;
+  if (s == "dhc1") return Algorithm::kDhc1;
+  if (s == "dhc2") return Algorithm::kDhc2;
+  if (s == "upcast") return Algorithm::kUpcast;
+  if (s == "collect-all" || s == "collectall") return Algorithm::kCollectAll;
+  if (s == "dhc2-kmachine" || s == "kmachine") return Algorithm::kDhc2KMachine;
+  throw std::invalid_argument("unknown algorithm '" + s +
+                              "' (expected sequential|dra|dhc1|dhc2|upcast|collect-all|"
+                              "dhc2-kmachine)");
+}
+
+GraphFamily parse_graph_family(const std::string& s) {
+  if (s == "gnp") return GraphFamily::kGnp;
+  if (s == "gnm") return GraphFamily::kGnm;
+  if (s == "regular") return GraphFamily::kRegular;
+  throw std::invalid_argument("unknown graph family '" + s + "' (expected gnp|gnm|regular)");
+}
+
+core::MergeStrategy parse_merge_strategy(const std::string& s) {
+  if (s == "minforward" || s == "min-forward") return core::MergeStrategy::kMinForward;
+  if (s == "fullqueue" || s == "full-queue") return core::MergeStrategy::kFullQueue;
+  throw std::invalid_argument("unknown merge strategy '" + s +
+                              "' (expected minforward|fullqueue)");
+}
+
+void Scenario::validate() const {
+  DHC_REQUIRE(!name.empty(), "scenario name must not be empty");
+  DHC_REQUIRE(!algos.empty(), "scenario needs at least one algorithm");
+  DHC_REQUIRE(!sizes.empty(), "scenario needs at least one graph size");
+  DHC_REQUIRE(!deltas.empty(), "scenario needs at least one delta");
+  DHC_REQUIRE(!cs.empty(), "scenario needs at least one density constant c");
+  DHC_REQUIRE(!merges.empty(), "scenario needs at least one merge strategy");
+  DHC_REQUIRE(!machines.empty(), "scenario needs at least one machine count");
+  DHC_REQUIRE(seeds >= 1, "seeds must be >= 1");
+  DHC_REQUIRE(bandwidth >= 1, "k-machine bandwidth must be >= 1");
+  for (const auto n : sizes) {
+    DHC_REQUIRE(n >= 4, "graph size must be >= 4, got " << n);
+  }
+  for (const double d : deltas) {
+    DHC_REQUIRE(d > 0.0 && d <= 1.0, "delta must lie in (0, 1], got " << d);
+  }
+  for (const double c : cs) {
+    DHC_REQUIRE(c > 0.0, "density constant c must be positive, got " << c);
+  }
+  for (const auto k : machines) {
+    DHC_REQUIRE(k >= 2, "machine count must be >= 2, got " << k);
+  }
+}
+
+namespace {
+
+/// Derives a nonzero per-trial seed by folding words into a splitmix64
+/// chain — stable across platforms and independent of execution order.
+std::uint64_t derive_seed(std::uint64_t base, std::initializer_list<std::uint64_t> words,
+                          std::uint64_t salt) {
+  std::uint64_t state = base;
+  std::uint64_t h = support::splitmix64(state);
+  for (const std::uint64_t w : words) {
+    state ^= w;
+    h ^= support::splitmix64(state);
+  }
+  state ^= salt;
+  h ^= support::splitmix64(state);
+  return h | 1;
+}
+
+bool uses_merge_strategy(Algorithm a) {
+  return a == Algorithm::kDhc2 || a == Algorithm::kDhc2KMachine;
+}
+
+}  // namespace
+
+std::vector<TrialConfig> expand(const Scenario& s) {
+  s.validate();
+  std::vector<TrialConfig> trials;
+  std::size_t cell = 0;
+  static const std::vector<std::int64_t> kNoMachines = {0};
+  static const std::vector<core::MergeStrategy> kDefaultMerge = {
+      core::MergeStrategy::kMinForward};
+  for (const Algorithm algo : s.algos) {
+    const auto& merges = uses_merge_strategy(algo) ? s.merges : kDefaultMerge;
+    const auto& machines = algo == Algorithm::kDhc2KMachine ? s.machines : kNoMachines;
+    for (const auto size : s.sizes) {
+      for (const double delta : s.deltas) {
+        for (const double c : s.cs) {
+          for (const core::MergeStrategy merge : merges) {
+            for (const auto k : machines) {
+              for (std::uint64_t t = 0; t < s.seeds; ++t) {
+                TrialConfig tc;
+                tc.config_index = cell;
+                tc.trial_index = t;
+                tc.algo = algo;
+                tc.family = s.family;
+                tc.n = static_cast<graph::NodeId>(size);
+                tc.delta = delta;
+                tc.c = c;
+                tc.merge = merge;
+                tc.machines = static_cast<std::uint32_t>(k);
+                tc.bandwidth =
+                    algo == Algorithm::kDhc2KMachine ? static_cast<std::uint64_t>(s.bandwidth) : 0;
+                // The graph seed depends only on the instance parameters, so
+                // trials that differ in algorithm / merge strategy / machine
+                // count but share (family, n, delta, c, trial) run on the
+                // *same* graph — head-to-head comparisons are paired by
+                // construction.  The algorithm seed is per-cell.
+                tc.graph_seed = derive_seed(
+                    s.base_seed,
+                    {static_cast<std::uint64_t>(s.family), static_cast<std::uint64_t>(tc.n),
+                     std::bit_cast<std::uint64_t>(delta), std::bit_cast<std::uint64_t>(c), t},
+                    0x67);
+                tc.algo_seed = derive_seed(s.base_seed, {cell, t}, 0xa1);
+                trials.push_back(tc);
+              }
+              ++cell;
+            }
+          }
+        }
+      }
+    }
+  }
+  return trials;
+}
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& key, const std::string& value) {
+  if (value.empty()) throw std::invalid_argument("scenario key '" + key + "' has an empty value");
+  std::vector<std::string> parts;
+  std::istringstream is(value);
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    if (part.empty()) {
+      throw std::invalid_argument("scenario key '" + key + "' has an empty list element in '" +
+                                  value + "'");
+    }
+    parts.push_back(part);
+  }
+  return parts;
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario key '" + key + "' expects an integer, got '" + value +
+                                "'");
+  }
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario key '" + key + "' expects a number, got '" + value +
+                                "'");
+  }
+}
+
+std::vector<std::int64_t> parse_int_list(const std::string& key, const std::string& value) {
+  std::vector<std::int64_t> out;
+  for (const auto& part : split_commas(key, value)) out.push_back(parse_int(key, part));
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& key, const std::string& value) {
+  std::vector<double> out;
+  for (const auto& part : split_commas(key, value)) out.push_back(parse_double(key, part));
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+Scenario scenario_from_spec(const std::map<std::string, std::string>& spec) {
+  Scenario s;
+  for (const auto& [key, value] : spec) {
+    if (key == "name") {
+      s.name = value;
+    } else if (key == "algo" || key == "algos") {
+      s.algos.clear();
+      for (const auto& part : split_commas(key, value)) s.algos.push_back(parse_algorithm(part));
+    } else if (key == "family") {
+      s.family = parse_graph_family(value);
+    } else if (key == "sizes") {
+      s.sizes = parse_int_list(key, value);
+    } else if (key == "deltas") {
+      s.deltas = parse_double_list(key, value);
+    } else if (key == "cs") {
+      s.cs = parse_double_list(key, value);
+    } else if (key == "merges") {
+      s.merges.clear();
+      for (const auto& part : split_commas(key, value)) {
+        s.merges.push_back(parse_merge_strategy(part));
+      }
+    } else if (key == "machines") {
+      s.machines = parse_int_list(key, value);
+    } else if (key == "bandwidth") {
+      s.bandwidth = parse_int(key, value);
+    } else if (key == "seeds") {
+      s.seeds = static_cast<std::uint64_t>(parse_int(key, value));
+    } else if (key == "seed") {
+      s.base_seed = static_cast<std::uint64_t>(parse_int(key, value));
+    } else {
+      throw std::invalid_argument("unknown scenario key '" + key + "'");
+    }
+  }
+  s.validate();
+  return s;
+}
+
+Scenario scenario_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open scenario file '" + path + "'");
+  std::map<std::string, std::string> spec;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(path + ":" + std::to_string(lineno) +
+                                  ": expected key = value, got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::invalid_argument(path + ":" + std::to_string(lineno) + ": empty key");
+    }
+    if (spec.contains(key)) {
+      throw std::invalid_argument(path + ":" + std::to_string(lineno) + ": duplicate key '" +
+                                  key + "'");
+    }
+    spec[key] = value;
+  }
+  return scenario_from_spec(spec);
+}
+
+Scenario scenario_from_cli(const support::Cli& cli) {
+  Scenario s;
+  if (cli.has("scenario")) s = scenario_from_file(cli.get_string("scenario", ""));
+  s.name = cli.get_string("name", s.name);
+  for (const char* key : {"algo", "algos"}) {
+    if (!cli.has(key)) continue;
+    s.algos.clear();
+    for (const auto& part : split_commas(key, cli.get_string(key, ""))) {
+      s.algos.push_back(parse_algorithm(part));
+    }
+  }
+  if (cli.has("family")) s.family = parse_graph_family(cli.get_string("family", ""));
+  if (cli.has("sizes")) s.sizes = cli.get_int_list("sizes", {});
+  if (cli.has("deltas")) s.deltas = cli.get_double_list("deltas", {});
+  if (cli.has("cs")) s.cs = cli.get_double_list("cs", {});
+  if (cli.has("merges")) {
+    s.merges.clear();
+    for (const auto& part : split_commas("merges", cli.get_string("merges", ""))) {
+      s.merges.push_back(parse_merge_strategy(part));
+    }
+  }
+  if (cli.has("machines")) s.machines = cli.get_int_list("machines", {});
+  if (cli.has("bandwidth")) s.bandwidth = cli.get_int("bandwidth", s.bandwidth);
+  if (cli.has("seeds")) s.seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 0));
+  if (cli.has("seed")) s.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 0));
+  s.validate();
+  return s;
+}
+
+}  // namespace dhc::runner

@@ -1,0 +1,122 @@
+// Declarative experiment scenarios for the parallel trial runner.
+//
+// A Scenario names an experiment the way the paper's tables do: which
+// algorithm(s), which graph family, and the lists of n / δ / c /
+// merge-strategy values to sweep, plus how many seeded trials per cell.
+// expand() turns it into the full cross-product of TrialConfigs, each
+// carrying its own deterministically derived seeds — a trial is a pure
+// function of its TrialConfig, which is what lets TrialRunner execute them
+// on any number of threads with bitwise-identical results.
+//
+// Scenarios are parsed from --key=value flags (scenario_from_cli) or from a
+// key=value scenario file (scenario_from_file); malformed specs throw
+// std::invalid_argument, never half-parse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dhc2.h"
+#include "graph/graph.h"
+#include "support/cli.h"
+
+namespace dhc::runner {
+
+/// Which solver a trial runs.  kCollectAll is Upcast with collect_all set
+/// (the trivial baseline); kDhc2KMachine is DHC2 priced under the k-machine
+/// conversion of paper §IV.
+enum class Algorithm : std::uint8_t {
+  kSequential,
+  kDra,
+  kDhc1,
+  kDhc2,
+  kUpcast,
+  kCollectAll,
+  kDhc2KMachine,
+};
+
+/// Input graph family.  All families are parameterized through (c, δ): the
+/// target edge probability is p = c·ln n / n^δ; G(n, M) matches its expected
+/// edge count and the regular family its expected degree.
+enum class GraphFamily : std::uint8_t { kGnp, kGnm, kRegular };
+
+std::string to_string(Algorithm a);
+std::string to_string(GraphFamily f);
+std::string to_string(core::MergeStrategy s);
+
+/// Parse the spellings accepted in flags and scenario files; throw
+/// std::invalid_argument on anything else.
+Algorithm parse_algorithm(const std::string& s);
+GraphFamily parse_graph_family(const std::string& s);
+core::MergeStrategy parse_merge_strategy(const std::string& s);
+
+/// A declarative experiment: the cross product of every list below (merge
+/// strategies apply only to DHC2-based algorithms, machine counts only to
+/// the k-machine conversion) times `seeds` trials per cell.
+struct Scenario {
+  std::string name = "scenario";
+  std::vector<Algorithm> algos = {Algorithm::kDhc2};
+  GraphFamily family = GraphFamily::kGnp;
+  std::vector<std::int64_t> sizes = {512};
+  std::vector<double> deltas = {0.5};
+  std::vector<double> cs = {2.5};
+  std::vector<core::MergeStrategy> merges = {core::MergeStrategy::kMinForward};
+  /// Machine counts for the k-machine conversion sweep (kDhc2KMachine only).
+  std::vector<std::int64_t> machines = {8};
+  /// Per-link bandwidth (messages/round) for the k-machine pricing.
+  std::int64_t bandwidth = 32;
+  /// Seeded trials per configuration cell.
+  std::uint64_t seeds = 5;
+  /// Root seed; every trial's graph/algorithm seeds are derived from it.
+  std::uint64_t base_seed = 1;
+
+  /// Throws std::invalid_argument when any field is out of range (empty
+  /// lists, δ outside (0, 1], n < 4, seeds == 0, ...).
+  void validate() const;
+};
+
+/// One executable trial: a configuration cell plus a trial index and the
+/// derived seeds.  Everything a worker thread needs, nothing shared.
+struct TrialConfig {
+  std::size_t config_index = 0;   ///< Which cross-product cell this trial belongs to.
+  std::uint64_t trial_index = 0;  ///< 0-based seed index within the cell.
+  Algorithm algo = Algorithm::kDhc2;
+  GraphFamily family = GraphFamily::kGnp;
+  graph::NodeId n = 0;
+  double delta = 0.0;
+  double c = 0.0;
+  core::MergeStrategy merge = core::MergeStrategy::kMinForward;
+  std::uint32_t machines = 0;     ///< 0 unless algo == kDhc2KMachine.
+  std::uint64_t bandwidth = 0;    ///< 0 unless algo == kDhc2KMachine.
+  std::uint64_t graph_seed = 0;
+  std::uint64_t algo_seed = 0;
+};
+
+/// Expands the scenario into the full, deterministically ordered and seeded
+/// trial list.  Calling expand() twice on the same scenario yields identical
+/// configs (including seeds); validate() is invoked first.  Graph seeds
+/// depend only on (base_seed, family, n, delta, c, trial index): trials that
+/// differ in algorithm, merge strategy, or machine count run on identical
+/// instances, so head-to-head sweeps are paired comparisons.
+std::vector<TrialConfig> expand(const Scenario& s);
+
+/// Builds a Scenario from a key=value map (the shared core of file and CLI
+/// parsing).  Recognized keys: name, algos (or algo), family, sizes, deltas,
+/// cs, merges, machines, bandwidth, seeds, seed.  Unknown keys and malformed
+/// values throw std::invalid_argument.
+Scenario scenario_from_spec(const std::map<std::string, std::string>& spec);
+
+/// Parses a scenario file: one `key = value` per line, `#` comments and
+/// blank lines ignored.  Throws std::invalid_argument on unreadable files or
+/// malformed content.
+Scenario scenario_from_file(const std::string& path);
+
+/// Builds a Scenario from command-line flags.  When --scenario=FILE is
+/// present the file provides the baseline and any other flags override it;
+/// otherwise defaults are used.  Flag names match the spec keys, with
+/// --algo/--algos and --seed/--seeds both accepted.
+Scenario scenario_from_cli(const support::Cli& cli);
+
+}  // namespace dhc::runner

@@ -1,0 +1,190 @@
+#include "runner/trial_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "core/dhc1.h"
+#include "core/dhc2.h"
+#include "core/dra.h"
+#include "core/sequential.h"
+#include "core/upcast.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/hamiltonian.h"
+#include "kmachine/kmachine.h"
+#include "support/rng.h"
+
+namespace dhc::runner {
+
+namespace {
+
+graph::Graph make_instance(const TrialConfig& t) {
+  support::Rng rng(t.graph_seed);
+  const double p = graph::edge_probability(t.n, t.c, t.delta);  // clamped to 1 by the callee
+  switch (t.family) {
+    case GraphFamily::kGnp:
+      return graph::gnp(t.n, p, rng);
+    case GraphFamily::kGnm: {
+      const double pairs = static_cast<double>(t.n) * (t.n - 1) / 2.0;
+      const auto m = static_cast<std::uint64_t>(std::llround(p * pairs));
+      return graph::gnm(t.n, std::min<std::uint64_t>(m, static_cast<std::uint64_t>(pairs)), rng);
+    }
+    case GraphFamily::kRegular: {
+      // Match the G(n, p) expected degree, adjusted to a feasible even-sum
+      // degree sequence (configuration model needs n·d even and d < n).
+      auto d = static_cast<std::uint32_t>(std::llround(p * (t.n - 1)));
+      d = std::max<std::uint32_t>(d, 3);
+      d = std::min<std::uint32_t>(d, t.n - 1);
+      if ((static_cast<std::uint64_t>(t.n) * d) % 2 != 0) {
+        d = d + 1 < t.n ? d + 1 : d - 1;
+      }
+      return graph::random_regular(t.n, d, rng);
+    }
+  }
+  throw std::logic_error("unreachable graph family");
+}
+
+void fill_from_result(TrialResult& out, const core::Result& r) {
+  out.success = r.success;
+  out.failure_reason = r.failure_reason;
+  out.rounds = static_cast<double>(r.metrics.rounds);
+  out.messages = static_cast<double>(r.metrics.messages);
+  out.bits = static_cast<double>(r.metrics.bits);
+  out.peak_memory = static_cast<double>(r.metrics.max_node_peak_memory());
+  out.barriers = static_cast<double>(r.metrics.barrier_count);
+  out.accounted_rounds = static_cast<double>(r.metrics.accounted_rounds());
+  out.stats = r.stats;
+}
+
+void verify_incidence(TrialResult& out, const graph::Graph& g, const core::Result& r) {
+  if (!out.success) return;
+  const auto v = graph::verify_cycle_incidence(g, r.cycle);
+  if (!v.ok()) {
+    out.success = false;
+    out.failure_reason = "verifier: " + *v.failure;
+  }
+}
+
+TrialResult run_trial_unchecked(const TrialConfig& t, bool verify) {
+  TrialResult out;
+  const graph::Graph g = make_instance(t);
+
+  switch (t.algo) {
+    case Algorithm::kSequential: {
+      support::Rng rng(t.algo_seed);
+      const auto r = core::rotation_hamiltonian_cycle(g, rng);
+      out.success = r.success;
+      out.failure_reason = r.failure_reason;
+      out.rounds = static_cast<double>(r.stats.steps);
+      out.stats["steps"] = static_cast<double>(r.stats.steps);
+      out.stats["extensions"] = static_cast<double>(r.stats.extensions);
+      out.stats["rotations"] = static_cast<double>(r.stats.rotations);
+      if (out.success && verify) {
+        const auto v = graph::verify_cycle_order(g, r.cycle);
+        if (!v.ok()) {
+          out.success = false;
+          out.failure_reason = "verifier: " + *v.failure;
+        }
+      }
+      break;
+    }
+    case Algorithm::kDra: {
+      const auto r = core::run_dra(g, t.algo_seed);
+      fill_from_result(out, r);
+      if (verify) verify_incidence(out, g, r);
+      break;
+    }
+    case Algorithm::kDhc1: {
+      const auto r = core::run_dhc1(g, t.algo_seed);
+      fill_from_result(out, r);
+      if (verify) verify_incidence(out, g, r);
+      break;
+    }
+    case Algorithm::kDhc2: {
+      core::Dhc2Config cfg;
+      cfg.delta = t.delta;
+      cfg.merge_strategy = t.merge;
+      const auto r = core::run_dhc2(g, t.algo_seed, cfg);
+      fill_from_result(out, r);
+      if (verify) verify_incidence(out, g, r);
+      break;
+    }
+    case Algorithm::kUpcast:
+    case Algorithm::kCollectAll: {
+      core::UpcastConfig cfg;
+      cfg.collect_all = t.algo == Algorithm::kCollectAll;
+      const auto r = core::run_upcast(g, t.algo_seed, cfg);
+      fill_from_result(out, r);
+      if (verify) verify_incidence(out, g, r);
+      break;
+    }
+    case Algorithm::kDhc2KMachine: {
+      core::Dhc2Config cfg;
+      cfg.delta = t.delta;
+      cfg.merge_strategy = t.merge;
+      const auto r = kmachine::convert_dhc2(g, t.algo_seed, t.machines, t.bandwidth, cfg);
+      out.success = r.success;
+      if (!r.success) out.failure_reason = "dhc2 failed under k-machine pricing";
+      out.rounds = static_cast<double>(r.kmachine_rounds);
+      out.messages = static_cast<double>(r.cross_messages + r.local_messages);
+      out.stats["congest_rounds"] = static_cast<double>(r.congest_rounds);
+      out.stats["kmachine_rounds"] = static_cast<double>(r.kmachine_rounds);
+      out.stats["cross_messages"] = static_cast<double>(r.cross_messages);
+      out.stats["local_messages"] = static_cast<double>(r.local_messages);
+      break;
+    }
+  }
+
+  out.stats["graph_m"] = static_cast<double>(g.m());
+  out.stats["graph_connected"] = graph::is_connected(g) ? 1.0 : 0.0;
+  out.stats["mean_degree"] = t.n > 0 ? 2.0 * static_cast<double>(g.m()) / t.n : 0.0;
+  return out;
+}
+
+}  // namespace
+
+TrialResult run_trial(const TrialConfig& t, bool verify) {
+  const auto start = std::chrono::steady_clock::now();
+  TrialResult out;
+  try {
+    out = run_trial_unchecked(t, verify);
+  } catch (const std::exception& e) {
+    out = TrialResult{};
+    out.success = false;
+    out.failure_reason = std::string("exception: ") + e.what();
+  }
+  out.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+std::vector<TrialResult> run_trials(const std::vector<TrialConfig>& trials,
+                                    const RunnerOptions& opt) {
+  std::vector<TrialResult> results(trials.size());
+  unsigned threads = opt.threads != 0 ? opt.threads : std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(trials.size())));
+
+  // Workers claim trial indices from a shared counter and write into their
+  // own slot; result content depends only on the TrialConfig, so the claim
+  // order (and thread count) cannot affect aggregates.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < trials.size(); i = next.fetch_add(1)) {
+      results[i] = run_trial(trials[i], opt.verify);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+}  // namespace dhc::runner

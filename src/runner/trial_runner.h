@@ -1,0 +1,65 @@
+// Parallel execution of expanded scenario trials.
+//
+// Every trial is a pure function of its TrialConfig — the graph is generated
+// from graph_seed, the solver from algo_seed, and no state is shared between
+// trials — so run_trials() can hand the list to a std::thread worker pool
+// and still produce results that are bitwise independent of thread count and
+// scheduling order: workers write into a pre-sized vector slot keyed by the
+// trial's position, never append.  Only wall_seconds varies between runs,
+// and it is excluded from every aggregate and artifact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.h"
+
+namespace dhc::runner {
+
+/// Outcome of one trial, reduced to the aggregatable measurements.
+struct TrialResult {
+  bool success = false;
+  std::string failure_reason;
+
+  /// CONGEST cost (for kSequential: rounds counts solver steps, the rest 0;
+  /// for kDhc2KMachine: rounds is the converted k-machine round count and
+  /// the raw CONGEST rounds are stats["congest_rounds"]).
+  double rounds = 0.0;
+  double messages = 0.0;
+  double bits = 0.0;
+  /// Max over nodes of peak registered memory, words.
+  double peak_memory = 0.0;
+  double barriers = 0.0;
+  double accounted_rounds = 0.0;
+
+  /// Algorithm counters passed through from core::Result::stats, plus the
+  /// instance facts graph_m, graph_connected (0/1), and mean_degree.
+  std::map<std::string, double> stats;
+
+  /// Wall-clock of this trial on its worker thread.  Informational only:
+  /// never aggregated or serialized (it would break thread-count
+  /// determinism).
+  double wall_seconds = 0.0;
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 1;
+  /// Verify returned cycles against the input graph (recommended; the
+  /// k-machine conversion reports success only, nothing to verify).
+  bool verify = true;
+};
+
+/// Generates the instance deterministically from `t` and runs its solver.
+/// Failures (including thrown std::exception) are reported as unsuccessful
+/// results, never propagated.
+TrialResult run_trial(const TrialConfig& t, bool verify = true);
+
+/// Runs all trials on a worker pool and returns results in trial order.
+/// Aggregate-relevant fields are identical for every `opt.threads` value.
+std::vector<TrialResult> run_trials(const std::vector<TrialConfig>& trials,
+                                    const RunnerOptions& opt = {});
+
+}  // namespace dhc::runner

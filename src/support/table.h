@@ -5,6 +5,7 @@
 // and diffable across runs.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>

@@ -1,0 +1,143 @@
+// Unit tests for the runner's aggregation and artifact serialization.
+#include "runner/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace dhc::runner {
+namespace {
+
+TrialConfig make_config(std::size_t cell, std::uint64_t trial) {
+  TrialConfig t;
+  t.config_index = cell;
+  t.trial_index = trial;
+  t.algo = Algorithm::kDhc2;
+  t.n = 256;
+  t.delta = 0.5;
+  t.c = 2.5;
+  return t;
+}
+
+TrialResult make_result(bool success, double rounds, double messages) {
+  TrialResult r;
+  r.success = success;
+  r.rounds = rounds;
+  r.messages = messages;
+  r.stats["num_colors"] = 16.0;
+  r.stats["graph_connected"] = success ? 1.0 : 0.0;
+  return r;
+}
+
+TEST(Aggregate, QuantilesMatchSupportStats) {
+  std::vector<TrialConfig> trials;
+  std::vector<TrialResult> results;
+  const std::vector<double> rounds = {10.0, 20.0, 30.0, 40.0, 50.0};
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    trials.push_back(make_config(0, i));
+    results.push_back(make_result(true, rounds[i], rounds[i] * 100));
+  }
+  // One failed trial: excluded from cost digests, counted in success_rate.
+  trials.push_back(make_config(0, rounds.size()));
+  results.push_back(make_result(false, 999.0, 999.0));
+
+  const auto summaries = aggregate(trials, results);
+  ASSERT_EQ(summaries.size(), 1u);
+  const auto& s = summaries[0];
+  EXPECT_EQ(s.trials, 6u);
+  EXPECT_EQ(s.successes, 5u);
+  EXPECT_DOUBLE_EQ(s.success_rate, 5.0 / 6.0);
+
+  const auto expected = support::summarize(rounds);
+  EXPECT_EQ(s.rounds.count, 5u);
+  EXPECT_DOUBLE_EQ(s.rounds.mean, expected.mean);
+  EXPECT_DOUBLE_EQ(s.rounds.median, support::quantile(rounds, 0.5));
+  EXPECT_DOUBLE_EQ(s.rounds.p95, support::quantile(rounds, 0.95));
+  EXPECT_DOUBLE_EQ(s.rounds.min, expected.min);
+  EXPECT_DOUBLE_EQ(s.rounds.max, expected.max);
+  EXPECT_DOUBLE_EQ(s.messages.median, support::quantile({1000, 2000, 3000, 4000, 5000}, 0.5));
+
+  // Stat means run over all six trials, failures included.
+  EXPECT_DOUBLE_EQ(s.stat_means.at("num_colors"), 16.0);
+  EXPECT_DOUBLE_EQ(s.stat_means.at("graph_connected"), 5.0 / 6.0);
+}
+
+TEST(Aggregate, GroupsInterleavedCellsByConfigIndex) {
+  std::vector<TrialConfig> trials;
+  std::vector<TrialResult> results;
+  // Cells 0 and 1 interleaved, as a multi-threaded run would complete them.
+  for (const std::size_t cell : {0u, 1u, 0u, 1u}) {
+    trials.push_back(make_config(cell, trials.size()));
+    results.push_back(make_result(true, cell == 0 ? 10.0 : 100.0, 1.0));
+  }
+  const auto summaries = aggregate(trials, results);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].config.config_index, 0u);
+  EXPECT_DOUBLE_EQ(summaries[0].rounds.mean, 10.0);
+  EXPECT_EQ(summaries[1].config.config_index, 1u);
+  EXPECT_DOUBLE_EQ(summaries[1].rounds.mean, 100.0);
+}
+
+TEST(Aggregate, RejectsMismatchedLengths) {
+  EXPECT_THROW(aggregate({make_config(0, 0)}, {}), std::invalid_argument);
+}
+
+TEST(Aggregate, AllFailedCellHasEmptyDigests) {
+  const auto summaries =
+      aggregate({make_config(0, 0)}, {make_result(false, 7.0, 7.0)});
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].successes, 0u);
+  EXPECT_EQ(summaries[0].rounds.count, 0u);
+  EXPECT_DOUBLE_EQ(summaries[0].success_rate, 0.0);
+}
+
+TEST(WriteJson, IsDeterministicAndWellFormed) {
+  std::vector<TrialConfig> trials = {make_config(0, 0), make_config(0, 1)};
+  std::vector<TrialResult> results = {make_result(true, 12.0, 340.0),
+                                      make_result(true, 14.0, 360.0)};
+  // wall_seconds must not leak into the artifact (it varies across runs).
+  results[0].wall_seconds = 1.25;
+  results[1].wall_seconds = 9.75;
+  const auto summaries = aggregate(trials, results);
+
+  std::ostringstream a, b;
+  write_json(a, "demo", summaries);
+  results[0].wall_seconds = 0.0;
+  results[1].wall_seconds = 123.0;
+  write_json(b, "demo", aggregate(trials, results));
+  EXPECT_EQ(a.str(), b.str());
+
+  EXPECT_NE(a.str().find("\"scenario\": \"demo\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"algo\": \"dhc2\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"median\": 13"), std::string::npos);
+  EXPECT_EQ(a.str().find("wall"), std::string::npos);
+}
+
+TEST(WriteCsv, OneRowPerCellPlusHeader) {
+  std::vector<TrialConfig> trials = {make_config(0, 0), make_config(1, 0)};
+  trials[1].algo = Algorithm::kDra;
+  const std::vector<TrialResult> results = {make_result(true, 10.0, 20.0),
+                                            make_result(true, 30.0, 40.0)};
+  std::ostringstream os;
+  write_csv(os, aggregate(trials, results));
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, 3u);
+  EXPECT_NE(os.str().find("dra"), std::string::npos);
+}
+
+TEST(SummaryTable, OneRowPerCell) {
+  const std::vector<TrialConfig> trials = {make_config(0, 0), make_config(1, 0)};
+  const std::vector<TrialResult> results = {make_result(true, 10.0, 20.0),
+                                            make_result(false, 0.0, 0.0)};
+  EXPECT_EQ(summary_table(aggregate(trials, results)).rows(), 2u);
+}
+
+}  // namespace
+}  // namespace dhc::runner

@@ -1,0 +1,109 @@
+// dhc_run — the unified experiment driver for libdhc.
+//
+// Declares a scenario (from flags, a scenario file, or both), expands it to
+// the cross-product of seeded trials, executes them on a worker pool, and
+// prints per-configuration aggregates plus JSON/CSV artifacts.  Aggregates
+// are bitwise independent of --threads; only wall-clock changes.
+//
+//   ./dhc_run --algo=dhc2 --sizes=256,512 --deltas=0.5 --seeds=20 --threads=8
+//   ./dhc_run --scenario=sweep.scn --threads=0        # 0 = all hardware threads
+//
+// Flags (all optional; scenario-file keys use the same names):
+//   --scenario=FILE   key = value scenario file; other flags override it
+//   --name=STR        scenario name recorded in the artifacts
+//   --algos=LIST      sequential|dra|dhc1|dhc2|upcast|collect-all|dhc2-kmachine
+//   --family=STR      gnp|gnm|regular
+//   --sizes=LIST      graph sizes n
+//   --deltas=LIST     density exponents, p = c·ln n / n^delta
+//   --cs=LIST         density constants
+//   --merges=LIST     minforward|fullqueue (DHC2-based algorithms)
+//   --machines=LIST   k values for dhc2-kmachine
+//   --bandwidth=N     per-link messages/round for dhc2-kmachine
+//   --seeds=N         trials per configuration cell
+//   --seed=N          root seed
+//   --threads=N       worker threads (0 = hardware concurrency; default 1)
+//   --json=PATH       JSON artifact path ("" disables; default dhc_run.json)
+//   --csv=PATH        CSV artifact path (default: none)
+//   --verify=BOOL     check returned cycles against the graph (default true)
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <stdexcept>
+
+#include "runner/aggregator.h"
+#include "runner/scenario.h"
+#include "runner/trial_runner.h"
+#include "support/cli.h"
+
+namespace {
+
+void write_artifact(const std::string& path, const std::string& what,
+                    const std::function<void(std::ostream&)>& emit) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + what + " artifact '" + path + "'");
+  emit(out);
+  std::cout << what << " artifact: " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dhc;
+  try {
+    const support::Cli cli(argc, argv);
+    if (cli.has("help")) {
+      std::cout << "usage: dhc_run [--scenario=FILE] [--algos=...] [--sizes=...] "
+                   "[--deltas=...] [--cs=...] [--seeds=N] [--threads=N] [--json=PATH] "
+                   "[--csv=PATH]\nSee the header of tools/dhc_run.cc for the full flag list.\n";
+      return EXIT_SUCCESS;
+    }
+    const runner::Scenario scenario = runner::scenario_from_cli(cli);
+    runner::RunnerOptions opt;
+    opt.threads = static_cast<unsigned>(cli.get_int("threads", 1));
+    opt.verify = cli.get_bool("verify", true);
+
+    const auto trials = runner::expand(scenario);
+    std::cout << "scenario '" << scenario.name << "': " << trials.size() << " trials over "
+              << (trials.empty() ? 0 : trials.back().config_index + 1) << " configurations, "
+              << (opt.threads == 0 ? std::string("hardware") : std::to_string(opt.threads))
+              << " threads\n\n";
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = runner::run_trials(trials, opt);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    const auto summaries = runner::aggregate(trials, results);
+    runner::summary_table(summaries).print(std::cout);
+
+    std::uint64_t failures = 0;
+    double trial_seconds = 0.0;
+    for (const auto& r : results) {
+      if (!r.success) ++failures;
+      trial_seconds += r.wall_seconds;
+    }
+    std::cout << "\n" << trials.size() << " trials, " << failures << " failed; wall "
+              << wall << " s (" << trial_seconds << " s of trial work)\n";
+
+    const std::string json_path = cli.get_string("json", "dhc_run.json");
+    if (!json_path.empty()) {
+      write_artifact(json_path, "JSON", [&](std::ostream& os) {
+        runner::write_json(os, scenario.name, summaries);
+      });
+    }
+    const std::string csv_path = cli.get_string("csv", "");
+    if (!csv_path.empty()) {
+      write_artifact(csv_path, "CSV",
+                     [&](std::ostream& os) { runner::write_csv(os, summaries); });
+    }
+    return EXIT_SUCCESS;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "dhc_run: " << e.what() << "\n(run with --help for usage)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dhc_run: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
