@@ -20,6 +20,7 @@ std::string to_string(Algorithm a) {
     case Algorithm::kUpcast: return "upcast";
     case Algorithm::kCollectAll: return "collect-all";
     case Algorithm::kDhc2KMachine: return "dhc2-kmachine";
+    case Algorithm::kTurau: return "turau";
   }
   return "?";
 }
@@ -45,9 +46,10 @@ Algorithm parse_algorithm(const std::string& s) {
   if (s == "upcast") return Algorithm::kUpcast;
   if (s == "collect-all" || s == "collectall") return Algorithm::kCollectAll;
   if (s == "dhc2-kmachine" || s == "kmachine") return Algorithm::kDhc2KMachine;
+  if (s == "turau") return Algorithm::kTurau;
   throw std::invalid_argument("unknown algorithm '" + s +
                               "' (expected sequential|dra|dhc1|dhc2|upcast|collect-all|"
-                              "dhc2-kmachine)");
+                              "dhc2-kmachine|turau)");
 }
 
 GraphFamily parse_graph_family(const std::string& s) {

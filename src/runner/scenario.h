@@ -26,7 +26,8 @@ namespace dhc::runner {
 
 /// Which solver a trial runs.  kCollectAll is Upcast with collect_all set
 /// (the trivial baseline); kDhc2KMachine is DHC2 priced under the k-machine
-/// conversion of paper §IV.
+/// conversion of paper §IV; kTurau is the O(log n)-time comparison protocol
+/// of arXiv:1805.06728 (DESIGN.md §2.4).
 enum class Algorithm : std::uint8_t {
   kSequential,
   kDra,
@@ -35,6 +36,7 @@ enum class Algorithm : std::uint8_t {
   kUpcast,
   kCollectAll,
   kDhc2KMachine,
+  kTurau,
 };
 
 /// Input graph family.  All families are parameterized through (c, δ): the

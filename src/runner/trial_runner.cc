@@ -10,6 +10,7 @@
 #include "core/dhc2.h"
 #include "core/dra.h"
 #include "core/sequential.h"
+#include "core/turau.h"
 #include "core/upcast.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -19,9 +20,7 @@
 
 namespace dhc::runner {
 
-namespace {
-
-graph::Graph make_instance(const TrialConfig& t) {
+graph::Graph make_trial_instance(const TrialConfig& t) {
   support::Rng rng(t.graph_seed);
   const double p = graph::edge_probability(t.n, t.c, t.delta);  // clamped to 1 by the callee
   switch (t.family) {
@@ -47,6 +46,8 @@ graph::Graph make_instance(const TrialConfig& t) {
   throw std::logic_error("unreachable graph family");
 }
 
+namespace {
+
 void fill_from_result(TrialResult& out, const core::Result& r) {
   out.success = r.success;
   out.failure_reason = r.failure_reason;
@@ -70,7 +71,7 @@ void verify_incidence(TrialResult& out, const graph::Graph& g, const core::Resul
 
 TrialResult run_trial_unchecked(const TrialConfig& t, bool verify) {
   TrialResult out;
-  const graph::Graph g = make_instance(t);
+  const graph::Graph g = make_trial_instance(t);
 
   switch (t.algo) {
     case Algorithm::kSequential: {
@@ -108,6 +109,12 @@ TrialResult run_trial_unchecked(const TrialConfig& t, bool verify) {
       cfg.delta = t.delta;
       cfg.merge_strategy = t.merge;
       const auto r = core::run_dhc2(g, t.algo_seed, cfg);
+      fill_from_result(out, r);
+      if (verify) verify_incidence(out, g, r);
+      break;
+    }
+    case Algorithm::kTurau: {
+      const auto r = core::run_turau(g, t.algo_seed);
       fill_from_result(out, r);
       if (verify) verify_incidence(out, g, r);
       break;

@@ -52,6 +52,12 @@ struct RunnerOptions {
   bool verify = true;
 };
 
+/// Generates a trial's input graph deterministically from its graph_seed and
+/// instance parameters (family, n, delta, c).  Exposed so tests can pin the
+/// DESIGN.md §3 pairing guarantee: trials that differ only in algorithm,
+/// merge strategy, or machine count receive bitwise-identical graphs.
+graph::Graph make_trial_instance(const TrialConfig& t);
+
 /// Generates the instance deterministically from `t` and runs its solver.
 /// Failures (including thrown std::exception) are reported as unsuccessful
 /// results, never propagated.

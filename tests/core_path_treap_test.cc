@@ -113,5 +113,50 @@ TEST_P(TreapDifferential, MatchesNaiveModelUnderRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TreapDifferential, ::testing::Range<std::uint64_t>(0, 10));
 
+// Rotation-heavy differential test with *full* sequence verification after
+// every operation.  The spot checks above probe single positions; this
+// variant catches split/merge bookkeeping bugs that leave the tree shape
+// self-consistent at the probed node but wrong elsewhere (e.g. a lazy-flip
+// flag pushed down one subtree but not the other), and deliberately hits
+// the boundary rotations j = 1 (maximal reverse: positions 2..size) and
+// j = size (no-op).
+class TreapRotationStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreapRotationStress, FullSequenceMatchesModelAfterEveryOp) {
+  support::Rng rng(0x72ea9ULL ^ GetParam());
+  const NodeId capacity = 64;
+  PathTreap treap(capacity, rng.next_u64());
+  std::vector<NodeId> model;
+
+  // Build the full path first so every rotation acts on a fixed node set.
+  std::vector<NodeId> order(capacity);
+  for (NodeId v = 0; v < capacity; ++v) order[v] = v;
+  rng.shuffle(std::span<NodeId>(order));
+  for (const NodeId v : order) {
+    treap.append(v);
+    model.push_back(v);
+  }
+
+  for (int op = 0; op < 200; ++op) {
+    std::uint32_t j;
+    if (op % 10 == 0) {
+      j = 1;  // maximal suffix reverse (position 1 stays fixed by the API)
+    } else if (op % 10 == 5) {
+      j = static_cast<std::uint32_t>(model.size());  // no-op boundary
+    } else {
+      j = static_cast<std::uint32_t>(1 + rng.below(model.size()));
+    }
+    treap.rotate_suffix(j);
+    std::reverse(model.begin() + j, model.end());
+    ASSERT_EQ(treap.to_vector(), model) << "op " << op << " j=" << j;
+    ASSERT_EQ(treap.size(), model.size());
+    // Positions must agree with the sequence, not just the sequence itself.
+    const auto probe = static_cast<std::size_t>(rng.below(model.size()));
+    ASSERT_EQ(treap.position(model[probe]), probe + 1) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreapRotationStress, ::testing::Range<std::uint64_t>(0, 6));
+
 }  // namespace
 }  // namespace dhc::core

@@ -1,0 +1,127 @@
+// Tests for Turau's O(log n)-time protocol (arXiv:1805.06728, DESIGN.md
+// §2.4): verified Hamiltonian cycles on dense G(n,p), logarithmic merge
+// depth, determinism, and graceful failure on hostile inputs.
+#include "core/turau.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/hamiltonian.h"
+
+namespace dhc::core {
+namespace {
+
+using graph::Graph;
+
+Graph dense_gnp(graph::NodeId n, double c, double delta, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return graph::gnp(n, graph::edge_probability(n, c, delta), rng);
+}
+
+TEST(Turau, SolvesCompleteGraph) {
+  const Graph g = graph::complete_graph(24);
+  const auto r = run_turau(g, /*seed=*/1);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(graph::verify_cycle_incidence(g, r.cycle).ok());
+}
+
+TEST(Turau, SolvesTriangle) {
+  const Graph g = graph::cycle_graph(3);
+  const auto r = run_turau(g, 2);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(graph::verify_cycle_incidence(g, r.cycle).ok());
+}
+
+TEST(Turau, TinyGraphFails) {
+  const Graph g(2, {{0, 1}});
+  EXPECT_FALSE(run_turau(g, 1).success);
+}
+
+TEST(Turau, DisconnectedGraphFailsGracefully) {
+  const Graph g(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  const auto r = run_turau(g, 4);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.metrics.hit_round_limit);  // aborts, doesn't spin
+  EXPECT_NE(r.failure_reason.find("disconnected"), std::string::npos);
+}
+
+TEST(Turau, StarGraphFailsGracefully) {
+  const auto r = run_turau(graph::star_graph(12), 3);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.metrics.hit_round_limit);
+}
+
+TEST(Turau, PathGraphCannotClose) {
+  // Connected but not Hamiltonian: the closing stage must exhaust its
+  // rotation budget instead of hanging.
+  const auto r = run_turau(graph::path_graph(16), 5);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.metrics.hit_round_limit);
+}
+
+TEST(Turau, DeterministicAcrossRuns) {
+  const Graph g = dense_gnp(192, 2.5, 0.5, 11);
+  const auto a = run_turau(g, 42);
+  const auto b = run_turau(g, 42);
+  ASSERT_TRUE(a.success) << a.failure_reason;
+  ASSERT_TRUE(b.success);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+  EXPECT_EQ(a.cycle.neighbors_of, b.cycle.neighbors_of);
+}
+
+TEST(Turau, DifferentSeedsGiveDifferentCycles) {
+  const Graph g = graph::complete_graph(32);
+  const auto a = run_turau(g, 1);
+  const auto b = run_turau(g, 2);
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_NE(a.cycle.neighbors_of, b.cycle.neighbors_of);
+}
+
+TEST(Turau, MergeDepthIsLogarithmic) {
+  // The headline property: the number of merge levels (the quantity Turau's
+  // O(log n) bound is about — see DESIGN.md §2.4 on what the relays cost in
+  // strict CONGEST) stays within a small multiple of log2 n.
+  const Graph g = dense_gnp(512, 2.5, 0.5, 7);
+  const auto r = run_turau(g, 19);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GT(r.stat("initial_paths"), 1.0);
+  EXPECT_GE(r.stat("merge_levels"), std::log2(r.stat("initial_paths")));
+  EXPECT_LE(r.stat("merge_levels"), 8.0 * std::log2(512.0));
+  ASSERT_FALSE(r.series.at("paths_per_level").empty());
+  EXPECT_EQ(r.series.at("paths_per_level").back(), 1.0);
+}
+
+TEST(Turau, MemoryStaysLinearInDegree) {
+  // Fully-distributed claim: peak node memory is the setup scaffolding's
+  // O(deg) plus the O(log n) edge sample and constant path state — never
+  // anything global.
+  const Graph g = dense_gnp(512, 2.5, 0.5, 13);
+  const auto r = run_turau(g, 23);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  const auto max_mem = static_cast<std::size_t>(r.metrics.max_node_peak_memory());
+  EXPECT_LE(max_mem, g.max_degree() + 8 * static_cast<std::size_t>(std::log2(512.0)) + 16);
+}
+
+// The acceptance regime of the issue: p = 2.5 ln n / sqrt n (well above the
+// connectivity threshold), every seed must produce a verified cycle.
+class TurauOnGnp : public ::testing::TestWithParam<std::tuple<std::uint64_t, graph::NodeId>> {};
+
+TEST_P(TurauOnGnp, FindsVerifiedCycle) {
+  const auto [seed, n] = GetParam();
+  const Graph g = dense_gnp(n, 2.5, 0.5, seed);
+  const auto r = run_turau(g, seed * 31 + 7);
+  ASSERT_TRUE(r.success) << "n=" << n << " seed=" << seed << ": " << r.failure_reason;
+  EXPECT_TRUE(graph::verify_cycle_incidence(g, r.cycle).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TurauOnGnp,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4, 5),
+                       ::testing::Values<graph::NodeId>(64, 128, 256, 512)));
+
+}  // namespace
+}  // namespace dhc::core

@@ -1,0 +1,137 @@
+// Golden-artifact test for the dhc_run pipeline: runs a tiny scenario
+// in-process through the exact stages the CLI uses (spec → expand →
+// run_trials → aggregate → write_json/write_csv) and pins the artifact
+// schema — field names and order, cell count, digest keys — so a schema
+// regression fails here in ctest instead of in downstream scripts.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/aggregator.h"
+#include "runner/scenario.h"
+#include "runner/trial_runner.h"
+
+namespace dhc::runner {
+namespace {
+
+/// Every JSON object key in order of appearance: a quoted string directly
+/// followed by a colon.  String *values* are followed by ',' or '}', never
+/// ':', so the scan cannot mistake them for keys.
+std::vector<std::string> json_keys(const std::string& json) {
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] != '"') continue;
+    const auto end = json.find('"', i + 1);
+    if (end == std::string::npos) break;
+    std::size_t after = end + 1;
+    while (after < json.size() && std::isspace(static_cast<unsigned char>(json[after]))) ++after;
+    if (after < json.size() && json[after] == ':') {
+      keys.push_back(json.substr(i + 1, end - i - 1));
+    }
+    i = end;
+  }
+  return keys;
+}
+
+struct Artifact {
+  Scenario scenario;
+  std::vector<ConfigSummary> summaries;
+  std::string json;
+  std::string csv;
+};
+
+Artifact tiny_artifact() {
+  // The in-process equivalent of
+  //   dhc_run --algos=sequential --sizes=16,24 --deltas=1.0 --cs=8 --seeds=2
+  Artifact a;
+  a.scenario = scenario_from_spec({{"name", "golden"},
+                                   {"algos", "sequential"},
+                                   {"sizes", "16,24"},
+                                   {"deltas", "1.0"},
+                                   {"cs", "8"},
+                                   {"seeds", "2"}});
+  const auto trials = expand(a.scenario);
+  const auto results = run_trials(trials, {.threads = 2});
+  a.summaries = aggregate(trials, results);
+  std::ostringstream js, cs;
+  write_json(js, a.scenario.name, a.summaries);
+  a.json = js.str();
+  write_csv(cs, a.summaries);
+  a.csv = cs.str();
+  return a;
+}
+
+TEST(Artifact, JsonSchemaIsPinned) {
+  const Artifact a = tiny_artifact();
+  ASSERT_EQ(a.summaries.size(), 2u);  // 2 sizes × 1 algo × 1 delta × 1 c
+
+  const auto keys = json_keys(a.json);
+  ASSERT_GE(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "scenario");
+  EXPECT_EQ(keys[1], "configs");
+
+  // Per-config schema: the fixed prefix, then one six-key digest per
+  // measurement, then the open-ended stats map.
+  const std::vector<std::string> config_prefix = {
+      "algo",   "family",    "n",     "delta",     "c",        "merge",
+      "machines", "bandwidth", "trials", "successes", "success_rate"};
+  const std::vector<std::string> digest_keys = {"count", "mean", "median", "p95", "min", "max"};
+  const std::vector<std::string> metrics = {"rounds", "messages", "bits", "memory"};
+
+  std::size_t cursor = 2;
+  for (std::size_t cell = 0; cell < a.summaries.size(); ++cell) {
+    for (const auto& want : config_prefix) {
+      ASSERT_LT(cursor, keys.size()) << "cell " << cell;
+      EXPECT_EQ(keys[cursor++], want) << "cell " << cell;
+    }
+    for (const auto& metric : metrics) {
+      ASSERT_LT(cursor, keys.size());
+      EXPECT_EQ(keys[cursor++], metric) << "cell " << cell;
+      for (const auto& want : digest_keys) {
+        ASSERT_LT(cursor, keys.size());
+        EXPECT_EQ(keys[cursor++], want) << "cell " << cell << " metric " << metric;
+      }
+    }
+    ASSERT_LT(cursor, keys.size());
+    EXPECT_EQ(keys[cursor++], "stats") << "cell " << cell;
+    // The stats map is algorithm-specific but always carries the instance
+    // facts; skip its keys up to the next cell's "algo".
+    std::size_t stats_begin = cursor;
+    while (cursor < keys.size() && keys[cursor] != "algo") ++cursor;
+    const std::vector<std::string> stat_keys(keys.begin() + stats_begin, keys.begin() + cursor);
+    for (const char* fact : {"graph_m", "graph_connected", "mean_degree"}) {
+      EXPECT_NE(std::find(stat_keys.begin(), stat_keys.end(), fact), stat_keys.end())
+          << "cell " << cell << " missing instance fact " << fact;
+    }
+  }
+  EXPECT_EQ(cursor, keys.size()) << "unexpected trailing keys";
+}
+
+TEST(Artifact, JsonCarriesScenarioNameAndCellValues) {
+  const Artifact a = tiny_artifact();
+  EXPECT_NE(a.json.find("\"scenario\": \"golden\""), std::string::npos);
+  EXPECT_NE(a.json.find("\"algo\": \"sequential\""), std::string::npos);
+  EXPECT_NE(a.json.find("\"n\": 16"), std::string::npos);
+  EXPECT_NE(a.json.find("\"n\": 24"), std::string::npos);
+  EXPECT_NE(a.json.find("\"trials\": 2"), std::string::npos);
+}
+
+TEST(Artifact, CsvHeaderIsPinned) {
+  const Artifact a = tiny_artifact();
+  const auto newline = a.csv.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  EXPECT_EQ(a.csv.substr(0, newline),
+            "algo,family,n,delta,c,merge,machines,bandwidth,trials,successes,success_rate,"
+            "rounds_mean,rounds_median,rounds_p95,messages_mean,messages_median,messages_p95,"
+            "bits_median,memory_median");
+  // One data row per cell after the header; every line is newline-terminated.
+  ASSERT_EQ(a.csv.back(), '\n');
+  const auto lines = static_cast<std::size_t>(std::count(a.csv.begin(), a.csv.end(), '\n'));
+  EXPECT_EQ(lines, 1 + a.summaries.size());
+}
+
+}  // namespace
+}  // namespace dhc::runner

@@ -20,12 +20,14 @@ TEST(ParseAlgorithm, AcceptsAllSpellings) {
   EXPECT_EQ(parse_algorithm("upcast"), Algorithm::kUpcast);
   EXPECT_EQ(parse_algorithm("collect-all"), Algorithm::kCollectAll);
   EXPECT_EQ(parse_algorithm("dhc2-kmachine"), Algorithm::kDhc2KMachine);
+  EXPECT_EQ(parse_algorithm("turau"), Algorithm::kTurau);
 }
 
 TEST(ParseAlgorithm, RoundTripsThroughToString) {
   for (const Algorithm a :
        {Algorithm::kSequential, Algorithm::kDra, Algorithm::kDhc1, Algorithm::kDhc2,
-        Algorithm::kUpcast, Algorithm::kCollectAll, Algorithm::kDhc2KMachine}) {
+        Algorithm::kUpcast, Algorithm::kCollectAll, Algorithm::kDhc2KMachine,
+        Algorithm::kTurau}) {
     EXPECT_EQ(parse_algorithm(to_string(a)), a);
   }
 }

@@ -11,7 +11,7 @@
 // Flags (all optional; scenario-file keys use the same names):
 //   --scenario=FILE   key = value scenario file; other flags override it
 //   --name=STR        scenario name recorded in the artifacts
-//   --algos=LIST      sequential|dra|dhc1|dhc2|upcast|collect-all|dhc2-kmachine
+//   --algos=LIST      sequential|dra|dhc1|dhc2|upcast|collect-all|dhc2-kmachine|turau
 //   --family=STR      gnp|gnm|regular
 //   --sizes=LIST      graph sizes n
 //   --deltas=LIST     density exponents, p = c·ln n / n^delta
@@ -56,7 +56,9 @@ int main(int argc, char** argv) {
     if (cli.has("help")) {
       std::cout << "usage: dhc_run [--scenario=FILE] [--algos=...] [--sizes=...] "
                    "[--deltas=...] [--cs=...] [--seeds=N] [--threads=N] [--json=PATH] "
-                   "[--csv=PATH]\nSee the header of tools/dhc_run.cc for the full flag list.\n";
+                   "[--csv=PATH]\nalgorithms: sequential|dra|dhc1|dhc2|upcast|collect-all|"
+                   "dhc2-kmachine|turau\nSee the header of tools/dhc_run.cc for the full flag "
+                   "list.\n";
       return EXIT_SUCCESS;
     }
     const runner::Scenario scenario = runner::scenario_from_cli(cli);
