@@ -1,0 +1,182 @@
+#include "runner/bench.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include <sys/resource.h>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace dhc::runner {
+
+namespace {
+
+std::vector<BenchPreset> make_presets() {
+  std::vector<BenchPreset> presets;
+
+  {
+    // The acceptance grid: all five CONGEST solvers head-to-head on paired
+    // G(n, p) instances at n = 2^12, the paper's delta = 1/2 regime.  This
+    // is the message-volume-bound workload (tens of millions of messages
+    // per trial), so it isolates the simulator hot path.
+    BenchPreset p;
+    p.name = "comparison";
+    p.description = "five-algorithm head-to-head at n=4096 (simulator-bound)";
+    p.scenario.name = "bench-comparison";
+    p.scenario.algos = {Algorithm::kDhc1, Algorithm::kDhc2, Algorithm::kTurau,
+                        Algorithm::kUpcast, Algorithm::kCollectAll};
+    p.scenario.sizes = {4096};
+    p.scenario.deltas = {0.5};
+    p.scenario.cs = {2.5};
+    p.scenario.seeds = 2;
+    p.scenario.base_seed = 800;
+    presets.push_back(std::move(p));
+  }
+  {
+    // Mid-size sweep: the same five algorithms at n = 2^10, more seeds, so
+    // per-trial fixed costs (graph generation, verification) carry more
+    // relative weight than in "comparison".
+    BenchPreset p;
+    p.name = "comparison-1k";
+    p.description = "five-algorithm head-to-head at n=1024";
+    p.scenario.name = "bench-comparison-1k";
+    p.scenario.algos = {Algorithm::kDhc1, Algorithm::kDhc2, Algorithm::kTurau,
+                        Algorithm::kUpcast, Algorithm::kCollectAll};
+    p.scenario.sizes = {1024};
+    p.scenario.deltas = {0.5};
+    p.scenario.cs = {2.5};
+    p.scenario.seeds = 3;
+    p.scenario.base_seed = 800;
+    presets.push_back(std::move(p));
+  }
+  {
+    // DHC2 density grid: exercises the partitioned setup (many groups, many
+    // barriers) rather than raw flooding volume.
+    BenchPreset p;
+    p.name = "dhc2-grid";
+    p.description = "dhc2 over a (n, delta) grid (barrier/wake-up bound)";
+    p.scenario.name = "bench-dhc2-grid";
+    p.scenario.algos = {Algorithm::kDhc2};
+    p.scenario.sizes = {512, 1024, 2048};
+    p.scenario.deltas = {0.5, 0.75};
+    p.scenario.cs = {2.5};
+    p.scenario.seeds = 3;
+    p.scenario.base_seed = 801;
+    presets.push_back(std::move(p));
+  }
+  {
+    // CI-sized smoke preset: every solver once, small n, a few seconds.
+    BenchPreset p;
+    p.name = "perf-smoke";
+    p.description = "small grid for CI perf smoke runs";
+    p.scenario.name = "bench-perf-smoke";
+    p.scenario.algos = {Algorithm::kDhc1, Algorithm::kDhc2, Algorithm::kTurau,
+                        Algorithm::kUpcast, Algorithm::kCollectAll};
+    p.scenario.sizes = {256};
+    p.scenario.deltas = {0.5};
+    p.scenario.cs = {2.5};
+    p.scenario.seeds = 2;
+    p.scenario.base_seed = 802;
+    presets.push_back(std::move(p));
+  }
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<BenchPreset>& bench_presets() {
+  static const std::vector<BenchPreset> presets = make_presets();
+  return presets;
+}
+
+const BenchPreset* find_bench_preset(const std::string& name) {
+  for (const auto& p : bench_presets()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+long current_peak_rss_kb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+namespace {
+
+// Linux keeps a *resettable* RSS high-water mark: writing "5" to
+// /proc/self/clear_refs zeroes VmHWM, so each preset can report its own
+// peak instead of inheriting the process-lifetime maximum from whichever
+// earlier preset was largest.  Returns false when the proc interface is
+// unavailable (non-Linux), in which case ru_maxrss is the fallback.
+bool reset_rss_peak() {
+#if defined(__GLIBC__)
+  // Freed-but-retained allocator pages from an earlier preset stay resident
+  // and would dominate the reset high-water mark; hand them back first so
+  // the next preset's VmHWM reflects its own working set.
+  malloc_trim(0);
+#endif
+  std::ofstream f("/proc/self/clear_refs");
+  if (!f) return false;
+  f << "5\n";
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+long read_rss_hwm_kb() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) return std::strtol(line.c_str() + 6, nullptr, 10);
+  }
+  return 0;
+}
+
+}  // namespace
+
+BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions& opt) {
+  BenchMeasurement m;
+  m.name = preset.name;
+
+  const auto trials = expand(preset.scenario);
+  m.trials = trials.size();
+
+  const bool per_preset_rss = reset_rss_peak();
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = run_trials(trials, opt);
+  m.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  for (const auto& r : results) {
+    if (r.success) ++m.successes;
+    m.messages_total += static_cast<std::uint64_t>(r.messages);
+  }
+  if (m.wall_seconds > 0.0) {
+    m.trials_per_sec = static_cast<double>(m.trials) / m.wall_seconds;
+    m.messages_per_sec = static_cast<double>(m.messages_total) / m.wall_seconds;
+  }
+  m.peak_rss_kb = per_preset_rss ? read_rss_hwm_kb() : current_peak_rss_kb();
+  return m;
+}
+
+void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& measurements,
+                      unsigned threads) {
+  os << "{\n  \"bench\": \"congest\",\n  \"schema\": 1,\n  \"threads\": " << threads
+     << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const auto& m = measurements[i];
+    os << "    {\"name\": \"" << m.name << "\", \"trials\": " << m.trials
+       << ", \"successes\": " << m.successes << ", \"wall_seconds\": " << m.wall_seconds
+       << ", \"trials_per_sec\": " << m.trials_per_sec
+       << ", \"messages_total\": " << m.messages_total
+       << ", \"messages_per_sec\": " << m.messages_per_sec
+       << ", \"peak_rss_kb\": " << m.peak_rss_kb << "}" << (i + 1 < measurements.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace dhc::runner

@@ -1,0 +1,71 @@
+// Perf-regression harness: named benchmark presets and the BENCH_congest
+// artifact.
+//
+// `dhc_run --bench=NAME,...` runs each named preset (a frozen Scenario) on
+// the trial-runner worker pool and records simulator *throughput* — wall
+// time, trials/sec, messages/sec — plus the process peak RSS, as machine-
+// readable JSON (BENCH_congest.json).  Every performance PR is measured
+// against the previous artifact in the same format; the first baseline,
+// captured from the pre-arena simulator, lives in
+// bench/baselines/BENCH_congest_pre.json.
+//
+// Presets are frozen on purpose: a preset whose scenario drifts between
+// commits measures nothing.  Add new presets instead of editing old ones.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.h"
+#include "runner/trial_runner.h"
+
+namespace dhc::runner {
+
+/// A named, frozen benchmark scenario.
+struct BenchPreset {
+  std::string name;
+  std::string description;
+  Scenario scenario;
+};
+
+/// All built-in presets, in execution order.  "comparison" is the headline
+/// preset: the five-algorithm head-to-head at n = 2^12 (the grid the
+/// trajectory's 2x targets are stated against); "perf-smoke" is the small
+/// grid CI runs on every push.
+const std::vector<BenchPreset>& bench_presets();
+
+/// Preset by name, or nullptr.
+const BenchPreset* find_bench_preset(const std::string& name);
+
+/// One preset's measured throughput.
+struct BenchMeasurement {
+  std::string name;
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+  double wall_seconds = 0.0;
+  double trials_per_sec = 0.0;
+  /// Total CONGEST messages simulated across all trials and the resulting
+  /// simulator throughput — the most layout-sensitive number here.
+  std::uint64_t messages_total = 0;
+  double messages_per_sec = 0.0;
+  /// Peak RSS of this preset alone (VmHWM, reset via /proc/self/clear_refs
+  /// before the preset runs).  Falls back to the monotone getrusage maximum
+  /// on systems without the proc interface.
+  long peak_rss_kb = 0;
+};
+
+/// Expands and runs one preset, timing the run_trials() call only (scenario
+/// expansion and artifact writing are excluded).
+BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions& opt);
+
+/// BENCH_congest.json: {"bench": "congest", "schema": 1, "threads": T,
+/// "scenarios": [...]}.  Field order is fixed so runs diff cleanly.
+void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& measurements,
+                      unsigned threads);
+
+/// Current process peak RSS in kilobytes (getrusage), 0 if unavailable.
+long current_peak_rss_kb();
+
+}  // namespace dhc::runner

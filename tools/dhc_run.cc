@@ -25,14 +25,22 @@
 //   --json=PATH       JSON artifact path ("" disables; default dhc_run.json)
 //   --csv=PATH        CSV artifact path (default: none)
 //   --verify=BOOL     check returned cycles against the graph (default true)
+//
+// Benchmark mode (perf trajectory; see README "Performance tracking"):
+//   --bench=LIST      run the named presets (or "all"); prints throughput and
+//                     writes the BENCH artifact instead of scenario output
+//   --bench-json=PATH BENCH artifact path (default BENCH_congest.json)
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "runner/aggregator.h"
+#include "runner/bench.h"
 #include "runner/scenario.h"
 #include "runner/trial_runner.h"
 #include "support/cli.h"
@@ -45,6 +53,51 @@ void write_artifact(const std::string& path, const std::string& what,
   if (!out) throw std::runtime_error("cannot open " + what + " artifact '" + path + "'");
   emit(out);
   std::cout << what << " artifact: " << path << "\n";
+}
+
+int run_bench_mode(const dhc::support::Cli& cli) {
+  using namespace dhc;
+  runner::RunnerOptions opt;
+  opt.threads = static_cast<unsigned>(cli.get_int("threads", 1));
+  opt.verify = cli.get_bool("verify", true);
+
+  std::vector<const runner::BenchPreset*> selected;
+  // A bare `--bench` is stored by Cli as "true"; treat it like "all".
+  const std::string spec = cli.get_string("bench", "all");
+  if (spec.empty() || spec == "all" || spec == "true") {
+    for (const auto& p : runner::bench_presets()) selected.push_back(&p);
+  } else {
+    std::istringstream is(spec);
+    std::string name;
+    while (std::getline(is, name, ',')) {
+      const auto* p = runner::find_bench_preset(name);
+      if (p == nullptr) {
+        std::string known;
+        for (const auto& q : runner::bench_presets()) known += " " + q.name;
+        throw std::invalid_argument("unknown bench preset '" + name + "' (known:" + known + ")");
+      }
+      selected.push_back(p);
+    }
+  }
+  if (selected.empty()) throw std::invalid_argument("--bench selected no presets");
+
+  std::vector<runner::BenchMeasurement> measurements;
+  for (const auto* p : selected) {
+    std::cout << "bench '" << p->name << "': " << p->description << "\n";
+    measurements.push_back(runner::run_bench_preset(*p, opt));
+    const auto& m = measurements.back();
+    std::cout << "  " << m.trials << " trials (" << m.successes << " ok) in " << m.wall_seconds
+              << " s — " << m.trials_per_sec << " trials/s, " << m.messages_per_sec
+              << " msgs/s, peak RSS " << m.peak_rss_kb << " kB\n";
+  }
+
+  const std::string path = cli.get_string("bench-json", "BENCH_congest.json");
+  if (!path.empty()) {
+    write_artifact(path, "BENCH", [&](std::ostream& os) {
+      runner::write_bench_json(os, measurements, opt.threads);
+    });
+  }
+  return EXIT_SUCCESS;
 }
 
 }  // namespace
@@ -60,6 +113,10 @@ int main(int argc, char** argv) {
                    "dhc2-kmachine|turau\nSee the header of tools/dhc_run.cc for the full flag "
                    "list.\n";
       return EXIT_SUCCESS;
+    }
+    const std::string bench_spec = cli.get_string("bench", "");
+    if (cli.has("bench") && bench_spec != "false" && bench_spec != "0") {
+      return run_bench_mode(cli);
     }
     const runner::Scenario scenario = runner::scenario_from_cli(cli);
     runner::RunnerOptions opt;
