@@ -44,6 +44,14 @@ struct Message {
   }
 };
 
+/// Bits for a message of `words` payload words when one word costs
+/// `id_bits` bits: the single definition of the CONGEST bit model, shared
+/// by message_bits() and the simulator's inline send path (which hoists
+/// id_bits = ⌈log₂ n⌉ out of the loop).
+inline std::uint64_t message_bits_for(std::uint64_t words, std::uint64_t id_bits) {
+  return words * id_bits + 8;  // payload fields + tag byte
+}
+
 /// Bits consumed by a message in a network of n nodes: words·⌈log₂ n⌉ plus a
 /// constant tag byte.  Used for the bit-complexity metrics (EXP-M1).
 std::uint64_t message_bits(const Message& msg, NodeId n);

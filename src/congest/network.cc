@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <cmath>
 
 #include "support/require.h"
 
@@ -12,7 +11,7 @@ std::uint64_t message_bits(const Message& msg, NodeId n) {
   // One word holds a node id (0..n-1), an index, or a size: ⌈log₂ n⌉ bits.
   const std::uint64_t id_bits =
       std::max<std::uint64_t>(1, std::bit_width(std::uint64_t{n > 0 ? n - 1 : 0}));
-  return msg.words * id_bits + 8;  // payload fields + tag byte
+  return message_bits_for(msg.words, id_bits);
 }
 
 std::uint64_t Metrics::max_node_messages_sent() const {
@@ -45,108 +44,60 @@ std::uint64_t Metrics::phase_rounds(const std::string& label) const {
 }
 
 // ---------------------------------------------------------------------------
-// Context
-// ---------------------------------------------------------------------------
-
-std::uint64_t Context::round() const { return net_.round_; }
-
-std::span<const NodeId> Context::neighbors() const { return net_.graph_->neighbors(self_); }
-
-std::span<const Message> Context::inbox() const { return net_.inboxes_[self_]; }
-
-void Context::send(NodeId to, Message msg) {
-  msg.from = self_;
-  msg.to = to;
-  net_.send_from(self_, to, msg);
-}
-
-void Context::wake_in(std::uint64_t delay) {
-  DHC_REQUIRE(delay >= 1, "wake_in delay must be at least 1 round");
-  net_.wakeups_[net_.round_ + delay].push_back(self_);
-}
-
-support::Rng& Context::rng() { return net_.node_rng(self_); }
-
-void Context::charge_memory(std::int64_t words) {
-  auto& mem = net_.metrics_.node_memory_words[self_];
-  mem += words;
-  auto& peak = net_.metrics_.node_peak_memory_words[self_];
-  peak = std::max(peak, mem);
-}
-
-void Context::charge_compute(std::uint64_t ops) { net_.metrics_.node_compute_ops[self_] += ops; }
-
-// ---------------------------------------------------------------------------
 // Network
 // ---------------------------------------------------------------------------
 
 Network::Network(const graph::Graph& g, NetworkConfig cfg) : graph_(&g), cfg_(cfg) {
   DHC_REQUIRE(cfg_.edge_capacity >= 1, "edge_capacity must be at least 1");
   const std::size_t n = g.n();
-  inboxes_.resize(n);
-  next_inboxes_.resize(n);
+  bits_per_word_ = std::max<std::uint64_t>(
+      1, std::bit_width(std::uint64_t{n > 0 ? n - 1 : 0}));
+  inbox_count_.assign(n, 0);
+  inbox_off_.assign(n, 0);
+  inbox_len_.assign(n, 0);
+  inbox_cursor_.assign(n, 0);
   has_mail_.assign(n, 0);
-  // Directed-edge load table: one slot per (node, neighbor-index) pair.
-  std::size_t total_directed = 0;
-  for (NodeId v = 0; v < g.n(); ++v) total_directed += g.degree(v);
+  // Directed-edge load table, indexed by the graph's CSR layout: the edge id
+  // of u→v is row_offsets[u] + neighbor_rank(u, v).
+  const auto offsets = g.row_offsets();
+  edge_offsets_.assign(offsets.begin(), offsets.end());
+  const std::size_t total_directed = edge_offsets_.empty() ? 0 : edge_offsets_.back();
   edge_load_.assign(total_directed, 0);
   edge_load_round_.assign(total_directed, static_cast<std::uint64_t>(-1));
-  edge_offsets_.assign(n + 1, 0);
-  for (NodeId v = 0; v < g.n(); ++v) edge_offsets_[v + 1] = edge_offsets_[v] + g.degree(v);
+
+  wheel_.resize(kWheelSize);
 
   const support::Rng base(cfg_.seed);
   rngs_.reserve(n);
   for (NodeId v = 0; v < g.n(); ++v) rngs_.push_back(base.stream(v));
 }
 
-support::Rng& Network::node_rng(NodeId v) { return rngs_[v]; }
+void Network::throw_non_neighbor(NodeId from, NodeId to) const {
+  throw CongestViolation("node " + std::to_string(from) + " sent to non-neighbor " +
+                         std::to_string(to) + " in round " + std::to_string(round_));
+}
 
-void Network::send_from(NodeId from, NodeId to, Message msg) {
-  const auto nb = graph_->neighbors(from);
-  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
-  if (it == nb.end() || *it != to) {
-    throw CongestViolation("node " + std::to_string(from) + " sent to non-neighbor " +
-                           std::to_string(to) + " in round " + std::to_string(round_));
+void Network::throw_over_capacity(NodeId from, NodeId to, const Message& msg) const {
+  std::string prior_tags;
+  for (const Message& queued : outbox_) {
+    if (queued.from == from && queued.to == to) prior_tags += " " + std::to_string(queued.tag);
   }
-  const std::size_t edge_id =
-      edge_offsets_[from] + static_cast<std::size_t>(std::distance(nb.begin(), it));
-  if (edge_load_round_[edge_id] != round_) {
-    edge_load_round_[edge_id] = round_;
-    edge_load_[edge_id] = 0;
-  }
-  if (++edge_load_[edge_id] > cfg_.edge_capacity) {
-    std::string prior_tags;
-    for (const Message& queued : next_inboxes_[to]) {
-      if (queued.from == from) prior_tags += " " + std::to_string(queued.tag);
-    }
-    throw CongestViolation("edge (" + std::to_string(from) + "→" + std::to_string(to) +
-                           ") over capacity in round " + std::to_string(round_) +
-                           ": CONGEST allows " + std::to_string(cfg_.edge_capacity) +
-                           " message(s) per edge per round (new tag " + std::to_string(msg.tag) +
-                           ", queued tags:" + prior_tags + ")");
-  }
-  DHC_CHECK(msg.words <= kMaxWords, "message exceeds payload word limit");
-
-  metrics_.messages += 1;
-  metrics_.bits += message_bits(msg, graph_->n());
-  metrics_.node_messages_sent[from] += 1;
-  metrics_.node_messages_received[to] += 1;
-  if (cfg_.observer != nullptr) cfg_.observer->on_send(from, to, round_);
-
-  auto& box = next_inboxes_[to];
-  box.push_back(msg);
-  ++pending_messages_;
-  if (box.size() == 1) next_active_.push_back(to);
+  throw CongestViolation("edge (" + std::to_string(from) + "→" + std::to_string(to) +
+                         ") over capacity in round " + std::to_string(round_) +
+                         ": CONGEST allows " + std::to_string(cfg_.edge_capacity) +
+                         " message(s) per edge per round (new tag " + std::to_string(msg.tag) +
+                         ", queued tags:" + prior_tags + ")");
 }
 
 void Network::wake(NodeId v) {
   DHC_REQUIRE(v < graph_->n(), "wake: node out of range");
-  wakeups_[round_ + 1].push_back(v);
+  arm_wakeup(v, 1);
 }
 
 void Network::wake_all() {
-  auto& bucket = wakeups_[round_ + 1];
+  auto& bucket = wheel_[(round_ + 1) & kWheelMask];
   for (NodeId v = 0; v < graph_->n(); ++v) bucket.push_back(v);
+  wheel_armed_ += graph_->n();
 }
 
 void Network::mark_phase(const std::string& label) {
@@ -155,6 +106,79 @@ void Network::mark_phase(const std::string& label) {
 
 void Network::set_barrier_cost(std::uint64_t rounds_per_barrier) {
   metrics_.barrier_cost_rounds = rounds_per_barrier;
+}
+
+std::uint64_t Network::next_armed_round() const {
+  // Every wheel entry's round lies in (round_, round_ + kWheelSize), so one
+  // sweep of the wheel starting after the current slot finds the nearest
+  // armed bucket; far-future wake-ups only need the heap minimum.
+  std::uint64_t best = static_cast<std::uint64_t>(-1);
+  if (wheel_armed_ != 0) {
+    for (std::uint64_t r = round_ + 1; r < round_ + kWheelSize; ++r) {
+      if (!wheel_[r & kWheelMask].empty()) {
+        best = r;
+        break;
+      }
+    }
+  }
+  if (!far_wakeups_.empty()) best = std::min(best, far_wakeups_.top().first);
+  DHC_CHECK(best != static_cast<std::uint64_t>(-1),
+            "next_armed_round() called with no wake-up armed");
+  return best;
+}
+
+void Network::deliver_and_build_active_set() {
+  // Mail first: walk the receivers in first-touch order, carve each node's
+  // contiguous slice out of the inbox arena, and reset its pending count.
+  active_.clear();
+  std::uint32_t cum = 0;
+  for (const NodeId v : next_active_) {
+    has_mail_[v] = 1;
+    active_.push_back(v);
+    inbox_off_[v] = cum;
+    inbox_cursor_[v] = cum;
+    inbox_len_[v] = inbox_count_[v];
+    cum += inbox_count_[v];
+    inbox_count_[v] = 0;
+  }
+  next_active_.clear();
+
+  // Wake-ups for this round: the wheel bucket plus any matured far entries.
+  auto& bucket = wheel_[round_ & kWheelMask];
+  wheel_armed_ -= bucket.size();
+  for (const NodeId v : bucket) {
+    if (has_mail_[v] == 0) {
+      has_mail_[v] = 1;
+      active_.push_back(v);
+    }
+  }
+  bucket.clear();
+  while (!far_wakeups_.empty() && far_wakeups_.top().first == round_) {
+    const NodeId v = far_wakeups_.top().second;
+    far_wakeups_.pop();
+    if (has_mail_[v] == 0) {
+      has_mail_[v] = 1;
+      active_.push_back(v);
+    }
+  }
+  // Steps must run in ascending node order (protocol RNG draws and send
+  // order depend on it).  For dense rounds — flood phases activate nearly
+  // every node — rebuilding the set from the has_mail_ bitmap is linear and
+  // branch-predictable, cheaper than sorting; sparse rounds sort directly.
+  if (active_.size() >= graph_->n() / 8) {
+    active_.clear();
+    const NodeId n = graph_->n();
+    for (NodeId v = 0; v < n; ++v) {
+      if (has_mail_[v] != 0) active_.push_back(v);
+    }
+  } else {
+    std::sort(active_.begin(), active_.end());
+  }
+
+  // Stable scatter: outbox send order becomes per-node arrival order.
+  if (inbox_arena_.size() < outbox_.size()) inbox_arena_.resize(outbox_.size());
+  for (const Message& m : outbox_) inbox_arena_[inbox_cursor_[m.to]++] = m;
+  outbox_.clear();
 }
 
 Metrics Network::run(Protocol& protocol) {
@@ -174,54 +198,29 @@ Metrics Network::run(Protocol& protocol) {
   }
 
   while (true) {
-    if (pending_messages_ == 0 && wakeups_.empty()) {
+    if (outbox_.empty() && !any_wakeup_armed()) {
       if (!protocol.on_quiescence(*this)) break;
       metrics_.barrier_count += 1;
-      DHC_CHECK(!wakeups_.empty(),
+      DHC_CHECK(any_wakeup_armed(),
                 "protocol continued past quiescence without waking any node (would spin forever)");
       continue;
     }
 
     // Advance to the next round with activity (idle gaps still count).
-    std::uint64_t next_round = round_ + 1;
-    if (pending_messages_ == 0) next_round = wakeups_.begin()->first;
-    round_ = next_round;
+    round_ = outbox_.empty() ? next_armed_round() : round_ + 1;
     if (round_ > cfg_.max_rounds) {
       metrics_.hit_round_limit = true;
       break;
     }
 
-    // Build this round's active set: nodes with mail + woken nodes.
-    active_.clear();
-    for (const NodeId v : next_active_) {
-      if (has_mail_[v] == 0) {
-        has_mail_[v] = 1;
-        active_.push_back(v);
-      }
-    }
-    next_active_.clear();
-    if (const auto it = wakeups_.find(round_); it != wakeups_.end()) {
-      for (const NodeId v : it->second) {
-        if (has_mail_[v] == 0) {
-          has_mail_[v] = 1;
-          active_.push_back(v);
-        }
-      }
-      wakeups_.erase(it);
-    }
-    std::sort(active_.begin(), active_.end());
+    deliver_and_build_active_set();
 
-    // Deliver mail, run steps, then clear consumed inboxes.
-    for (const NodeId v : active_) {
-      inboxes_[v].swap(next_inboxes_[v]);
-      pending_messages_ -= inboxes_[v].size();
-    }
     for (const NodeId v : active_) {
       Context ctx(*this, v);
       protocol.step(ctx);
     }
     for (const NodeId v : active_) {
-      inboxes_[v].clear();
+      inbox_len_[v] = 0;
       has_mail_[v] = 0;
     }
   }

@@ -7,6 +7,16 @@
 // messages or armed wake-ups run — so simulation cost tracks message volume,
 // not n × rounds.
 //
+// Memory layout (DESIGN.md §7): the hot path is allocation-free in the
+// steady state.  Sends append to a flat outbox log; at the next round's
+// delivery the log is scattered — stably, so per-node arrival order is the
+// global send order, exactly as the old per-node queues behaved — into a
+// flat inbox arena in which every active node owns one contiguous slice.
+// inbox() is a span over that slice.  Wake-ups live in a fixed-size bucket
+// wheel indexed by round (far-future wake-ups overflow into a small heap)
+// instead of a std::map.  Both arenas and all wheel buckets are reused
+// across rounds.
+//
 // Phase barriers: when the network goes quiescent (no messages in flight, no
 // wake-ups armed) the protocol's on_quiescence() hook runs; it can advance
 // to a new phase and wake nodes, or end the run.  Each such transition is
@@ -15,17 +25,17 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
+#include <queue>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "congest/message.h"
 #include "congest/metrics.h"
 #include "graph/graph.h"
+#include "support/require.h"
 #include "support/rng.h"
 
 namespace dhc::congest {
@@ -75,12 +85,18 @@ class Context {
   std::span<const NodeId> neighbors() const;
   std::size_t degree() const { return neighbors().size(); }
 
-  /// Messages delivered to this node at the start of this round.
+  /// Messages delivered to this node at the start of this round, in send
+  /// order (a contiguous slice of the round's inbox arena).
   std::span<const Message> inbox() const;
 
   /// Sends `msg` to neighbor `to` (delivered next round).  Throws
   /// CongestViolation if `to` is not a neighbor or the edge is saturated.
-  void send(NodeId to, Message msg);
+  void send(NodeId to, const Message& msg);
+
+  /// Sends `msg` to neighbors()[rank].  Same semantics as send(), but O(1):
+  /// flood loops that already walk the neighbor span skip the per-message
+  /// O(log deg) rank lookup.  Requires rank < degree().
+  void send_to_rank(std::size_t rank, const Message& msg);
 
   /// Arms a wake-up `delay` rounds from now (>= 1); the node's step() runs
   /// in that round even with an empty inbox.
@@ -126,7 +142,8 @@ class Protocol {
   }
 };
 
-/// The simulator.  Owns inboxes, wake-ups, and metrics for one run.
+/// The simulator.  Owns the message arenas, the wake-up wheel, and metrics
+/// for one run.
 class Network {
  public:
   Network(const graph::Graph& g, NetworkConfig cfg);
@@ -158,27 +175,143 @@ class Network {
  private:
   friend class Context;
 
-  void deliver_outbox();
-  void send_from(NodeId from, NodeId to, Message msg);
-  support::Rng& node_rng(NodeId v);
+  /// Wake-up wheel: one bucket per upcoming round, indexed modulo the wheel
+  /// size.  Every delay protocols use in practice is far below kWheelSize;
+  /// the rare longer delay overflows into a (round, node) min-heap.  Rounds
+  /// advance either by +1 or by jumping to the *minimum* armed round, so a
+  /// bucket is always drained before its slot could be reused.
+  static constexpr std::uint64_t kWheelBits = 10;
+  static constexpr std::uint64_t kWheelSize = 1ull << kWheelBits;
+  static constexpr std::uint64_t kWheelMask = kWheelSize - 1;
+
+  void deliver_and_build_active_set();
+  std::uint64_t next_armed_round() const;
+  void arm_wakeup(NodeId v, std::uint64_t delay);
+  bool any_wakeup_armed() const { return wheel_armed_ != 0 || !far_wakeups_.empty(); }
+
+  void send_from(NodeId from, NodeId to, const Message& msg);
+  void send_ranked(NodeId from, std::size_t rank, const Message& msg);
+  void commit_send(NodeId from, NodeId to, std::size_t edge_id, const Message& msg);
+  [[noreturn]] void throw_non_neighbor(NodeId from, NodeId to) const;
+  [[noreturn]] void throw_over_capacity(NodeId from, NodeId to, const Message& msg) const;
+  support::Rng& node_rng(NodeId v) { return rngs_[v]; }
 
   const graph::Graph* graph_;
   NetworkConfig cfg_;
   std::uint64_t round_ = 0;
   Protocol* protocol_ = nullptr;
+  std::uint64_t bits_per_word_ = 1;  // ⌈log₂ n⌉, hoisted out of the send path
 
-  std::vector<std::vector<Message>> inboxes_;       // delivered this round
-  std::vector<std::vector<Message>> next_inboxes_;  // being filled
-  std::vector<std::uint32_t> edge_load_;            // per directed edge, this round
-  std::vector<std::uint64_t> edge_load_round_;      // round tag for lazy reset
-  std::vector<std::size_t> edge_offsets_;           // node -> first directed-edge id
-  std::size_t pending_messages_ = 0;                // undelivered message count
-  std::vector<NodeId> active_;                      // nodes to step this round
-  std::vector<std::uint8_t> has_mail_;              // dedup for next active set
-  std::vector<NodeId> next_active_;
-  std::map<std::uint64_t, std::vector<NodeId>> wakeups_;  // round -> nodes
+  // Message arenas (double-buffered): sends append to outbox_; delivery
+  // scatters it into inbox_arena_, one contiguous slice per receiving node.
+  std::vector<Message> outbox_;       // send order; size == messages in flight
+  std::vector<Message> inbox_arena_;  // this round's inboxes, grouped by node
+  std::vector<std::uint32_t> inbox_count_;   // per node: messages pending next round
+  std::vector<std::uint32_t> inbox_off_;     // per node: slice start in inbox_arena_
+  std::vector<std::uint32_t> inbox_len_;     // per node: slice length this round
+  std::vector<std::uint32_t> inbox_cursor_;  // per node: scatter write cursor
+  std::vector<NodeId> next_active_;          // first-touch receivers of outbox_
+
+  std::vector<std::uint32_t> edge_load_;        // per directed edge, this round
+  std::vector<std::uint64_t> edge_load_round_;  // round tag for lazy reset
+  std::vector<std::size_t> edge_offsets_;       // node -> first directed-edge id
+
+  std::vector<NodeId> active_;          // nodes to step this round
+  std::vector<std::uint8_t> has_mail_;  // dedup mail vs wake-up activation
+
+  std::vector<std::vector<NodeId>> wheel_;  // kWheelSize buckets, reused
+  std::size_t wheel_armed_ = 0;             // total nodes across wheel buckets
+  std::priority_queue<std::pair<std::uint64_t, NodeId>,
+                      std::vector<std::pair<std::uint64_t, NodeId>>,
+                      std::greater<>>
+      far_wakeups_;  // wake-ups ≥ kWheelSize rounds out (rare)
+
   std::vector<support::Rng> rngs_;
   Metrics metrics_;
 };
+
+// ---------------------------------------------------------------------------
+// Inline hot path.  One Context::send is one neighbor-rank lookup, one edge
+// budget check, metric bumps, and a single 48-byte append — no intermediate
+// Message copies (the old out-of-line path copied the struct three times)
+// and no per-message allocation once the outbox has warmed up.
+// ---------------------------------------------------------------------------
+
+inline void Network::arm_wakeup(NodeId v, std::uint64_t delay) {
+  const std::uint64_t target = round_ + delay;
+  if (delay < kWheelSize) {
+    wheel_[target & kWheelMask].push_back(v);
+    ++wheel_armed_;
+  } else {
+    far_wakeups_.emplace(target, v);
+  }
+}
+
+inline void Network::commit_send(NodeId from, NodeId to, std::size_t edge_id,
+                                 const Message& msg) {
+  if (edge_load_round_[edge_id] != round_) {
+    edge_load_round_[edge_id] = round_;
+    edge_load_[edge_id] = 0;
+  }
+  if (++edge_load_[edge_id] > cfg_.edge_capacity) throw_over_capacity(from, to, msg);
+  DHC_CHECK(msg.words <= kMaxWords, "message exceeds payload word limit");
+
+  metrics_.messages += 1;
+  metrics_.bits += message_bits_for(msg.words, bits_per_word_);
+  metrics_.node_messages_sent[from] += 1;
+  metrics_.node_messages_received[to] += 1;
+  if (cfg_.observer != nullptr) cfg_.observer->on_send(from, to, round_);
+
+  if (inbox_count_[to]++ == 0) next_active_.push_back(to);
+  Message& slot = outbox_.emplace_back(msg);
+  slot.from = from;
+  slot.to = to;
+}
+
+inline void Network::send_from(NodeId from, NodeId to, const Message& msg) {
+  const std::size_t rank = graph_->neighbor_rank(from, to);
+  if (rank == graph::Graph::kNoRank) throw_non_neighbor(from, to);
+  commit_send(from, to, edge_offsets_[from] + rank, msg);
+}
+
+inline void Network::send_ranked(NodeId from, std::size_t rank, const Message& msg) {
+  const auto nb = graph_->neighbors(from);
+  DHC_REQUIRE(rank < nb.size(), "send_to_rank: rank " << rank << " out of range for node " << from);
+  commit_send(from, nb[rank], edge_offsets_[from] + rank, msg);
+}
+
+inline std::uint64_t Context::round() const { return net_.round_; }
+
+inline std::span<const NodeId> Context::neighbors() const {
+  return net_.graph_->neighbors(self_);
+}
+
+inline std::span<const Message> Context::inbox() const {
+  return {net_.inbox_arena_.data() + net_.inbox_off_[self_], net_.inbox_len_[self_]};
+}
+
+inline void Context::send(NodeId to, const Message& msg) { net_.send_from(self_, to, msg); }
+
+inline void Context::send_to_rank(std::size_t rank, const Message& msg) {
+  net_.send_ranked(self_, rank, msg);
+}
+
+inline void Context::wake_in(std::uint64_t delay) {
+  DHC_REQUIRE(delay >= 1, "wake_in delay must be at least 1 round");
+  net_.arm_wakeup(self_, delay);
+}
+
+inline support::Rng& Context::rng() { return net_.node_rng(self_); }
+
+inline void Context::charge_memory(std::int64_t words) {
+  auto& mem = net_.metrics_.node_memory_words[self_];
+  mem += words;
+  auto& peak = net_.metrics_.node_peak_memory_words[self_];
+  peak = std::max(peak, mem);
+}
+
+inline void Context::charge_compute(std::uint64_t ops) {
+  net_.metrics_.node_compute_ops[self_] += ops;
+}
 
 }  // namespace dhc::congest

@@ -8,7 +8,17 @@
 namespace dhc::congest {
 
 namespace {
+
 constexpr std::uint32_t kNoLevel = std::numeric_limits<std::uint32_t>::max();
+
+// Rank of neighbor `w` in v's sorted neighbor span; `w` must be a neighbor
+// (it arrived as msg.from).  Paid once per tree-edge adoption so that every
+// later tree send is O(1).
+std::uint32_t rank_of(Context& ctx, NodeId w) {
+  const auto nb = ctx.neighbors();
+  return static_cast<std::uint32_t>(std::lower_bound(nb.begin(), nb.end(), w) - nb.begin());
+}
+
 }  // namespace
 
 SetupComponent::SetupComponent(NodeId n, std::uint16_t base_tag, std::vector<std::uint32_t> group_of)
@@ -21,7 +31,9 @@ SetupComponent::SetupComponent(NodeId n, std::uint16_t base_tag, std::vector<std
   min_seen_.assign(n, kNoNode);
   level_.assign(n, kNoLevel);
   parent_.assign(n, kNoNode);
+  parent_rank_.assign(n, 0);
   children_.assign(n, {});
+  child_ranks_.assign(n, {});
   up_reports_.assign(n, 0);
   up_size_.assign(n, 0);
   up_depth_.assign(n, 0);
@@ -79,9 +91,23 @@ void SetupComponent::step(Context& ctx) {
   if (best_candidate < min_seen_[v]) {
     min_seen_[v] = best_candidate;
     ctx.charge_compute(1);
-    for (const NodeId w : ctx.neighbors()) {
-      if (same_group(v, w)) ctx.send(w, Message::make(tag_elect(), {best_candidate}));
-    }
+    flood_group(ctx, Message::make(tag_elect(), {best_candidate}));
+  }
+}
+
+// Sends one pre-built message to every same-group neighbor.  The message is
+// constructed once (not per neighbor) and sent by rank, and the group filter
+// is skipped entirely for single-group components — this loop carries the
+// bulk of all simulated traffic (Share/Elect/BFS flooding).
+void SetupComponent::flood_group(Context& ctx, const Message& msg) const {
+  const auto nb = ctx.neighbors();
+  if (!multi_group_) {
+    for (std::size_t i = 0; i < nb.size(); ++i) ctx.send_to_rank(i, msg);
+    return;
+  }
+  const std::uint32_t group = group_of_[ctx.self()];
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    if (group_of_[nb[i]] == group) ctx.send_to_rank(i, msg);
   }
 }
 
@@ -91,18 +117,16 @@ void SetupComponent::start_phase(Context& ctx) {
     case Phase::kShare: {
       // Tell every physical neighbor which group we are in (paper Alg. 2
       // line 6: colors are local random choices, so neighbors must be told).
-      for (const NodeId w : ctx.neighbors()) {
-        ctx.send(w, Message::make(tag_share(), {static_cast<std::int64_t>(group_of_[v])}));
-      }
+      const Message msg = Message::make(tag_share(), {static_cast<std::int64_t>(group_of_[v])});
+      const std::size_t degree = ctx.degree();
+      for (std::size_t i = 0; i < degree; ++i) ctx.send_to_rank(i, msg);
       // A node stores its neighbors' groups: one word per neighbor.
-      ctx.charge_memory(static_cast<std::int64_t>(ctx.degree()));
+      ctx.charge_memory(static_cast<std::int64_t>(degree));
       break;
     }
     case Phase::kElect: {
       min_seen_[v] = v;
-      for (const NodeId w : ctx.neighbors()) {
-        if (same_group(v, w)) ctx.send(w, Message::make(tag_elect(), {v}));
-      }
+      flood_group(ctx, Message::make(tag_elect(), {v}));
       break;
     }
     case Phase::kBfs: {
@@ -121,9 +145,7 @@ void SetupComponent::start_phase(Context& ctx) {
       if (min_seen_[v] == v && level_[v] == 0) {
         comp_size_[v] = up_size_[v];
         comp_depth_[v] = up_depth_[v];
-        for (const NodeId c : children_[v]) {
-          ctx.send(c, Message::make(tag_down(), {comp_size_[v], comp_depth_[v]}));
-        }
+        send_to_children(ctx, Message::make(tag_down(), {comp_size_[v], comp_depth_[v]}));
       }
       break;
     }
@@ -143,6 +165,7 @@ void SetupComponent::handle(Context& ctx, const Message& msg) {
     const auto claimed_parent = static_cast<NodeId>(msg.data[1]);
     if (claimed_parent == v) {
       children_[v].push_back(msg.from);
+      child_ranks_[v].push_back(rank_of(ctx, msg.from));
       ctx.charge_memory(1);
     }
     if (level_[v] == kNoLevel) {
@@ -168,6 +191,7 @@ void SetupComponent::handle(Context& ctx, const Message& msg) {
           }
         }
       }
+      parent_rank_[v] = rank_of(ctx, parent_[v]);
       announce_bfs(ctx);
     }
     return;
@@ -182,9 +206,7 @@ void SetupComponent::handle(Context& ctx, const Message& msg) {
   if (msg.tag == tag_down()) {
     comp_size_[v] = static_cast<std::uint32_t>(msg.data[0]);
     comp_depth_[v] = static_cast<std::uint32_t>(msg.data[1]);
-    for (const NodeId c : children_[v]) {
-      ctx.send(c, Message::make(tag_down(), {comp_size_[v], comp_depth_[v]}));
-    }
+    send_to_children(ctx, Message::make(tag_down(), {comp_size_[v], comp_depth_[v]}));
     return;
   }
 }
@@ -193,11 +215,7 @@ void SetupComponent::announce_bfs(Context& ctx) {
   const NodeId v = ctx.self();
   const std::int64_t parent_field =
       (parent_[v] == kNoNode) ? static_cast<std::int64_t>(kNoNode) : parent_[v];
-  for (const NodeId w : ctx.neighbors()) {
-    if (same_group(v, w)) {
-      ctx.send(w, Message::make(tag_bfs(), {level_[v], parent_field}));
-    }
-  }
+  flood_group(ctx, Message::make(tag_bfs(), {level_[v], parent_field}));
 }
 
 void SetupComponent::maybe_send_up(Context& ctx) {
@@ -209,7 +227,7 @@ void SetupComponent::maybe_send_up(Context& ctx) {
   up_size_[v] = size;
   up_depth_[v] = depth;
   if (parent_[v] != kNoNode) {
-    ctx.send(parent_[v], Message::make(tag_up(), {size, depth}));
+    send_to_parent(ctx, Message::make(tag_up(), {size, depth}));
   }
   // Leaders finalize in the Down phase.
   // Guard against double-sends if maybe_send_up is called again: mark done.
@@ -218,10 +236,8 @@ void SetupComponent::maybe_send_up(Context& ctx) {
 
 void SetupComponent::forward_on_tree(Context& ctx, const Message& msg, NodeId exclude) const {
   const NodeId v = ctx.self();
-  if (parent_[v] != kNoNode && parent_[v] != exclude) ctx.send(parent_[v], msg);
-  for (const NodeId c : children_[v]) {
-    if (c != exclude) ctx.send(c, msg);
-  }
+  if (parent_[v] != kNoNode && parent_[v] != exclude) send_to_parent(ctx, msg);
+  send_to_children(ctx, msg, exclude);
 }
 
 }  // namespace dhc::congest

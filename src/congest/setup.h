@@ -78,11 +78,29 @@ class SetupComponent {
   /// arbitrary origin, which reach every tree node within 2·depth rounds.
   void forward_on_tree(Context& ctx, const Message& msg, NodeId exclude) const;
 
+  /// Sends `msg` to v's tree parent in O(1): the parent's neighbor rank is
+  /// cached at adoption time, so convergecast pipelines (one record per
+  /// round, millions of sends) skip the per-message neighbor search.
+  /// Requires parent(v) != kNoNode.
+  void send_to_parent(Context& ctx, const Message& msg) const {
+    ctx.send_to_rank(parent_rank_[ctx.self()], msg);
+  }
+
+  /// Sends `msg` to every tree child of v except `exclude`, by cached rank.
+  void send_to_children(Context& ctx, const Message& msg, NodeId exclude = kNoNode) const {
+    const auto& kids = children_[ctx.self()];
+    const auto& ranks = child_ranks_[ctx.self()];
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      if (kids[i] != exclude) ctx.send_to_rank(ranks[i], msg);
+    }
+  }
+
  private:
   void start_phase(Context& ctx);
   void handle(Context& ctx, const Message& msg);
   void announce_bfs(Context& ctx);
   void maybe_send_up(Context& ctx);
+  void flood_group(Context& ctx, const Message& msg) const;
 
   std::uint16_t tag_share() const { return base_tag_; }
   std::uint16_t tag_elect() const { return static_cast<std::uint16_t>(base_tag_ + 1); }
@@ -99,7 +117,9 @@ class SetupComponent {
   std::vector<NodeId> min_seen_;
   std::vector<std::uint32_t> level_;
   std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> parent_rank_;  // parent's index in neighbors(v)
   std::vector<std::vector<NodeId>> children_;
+  std::vector<std::vector<std::uint32_t>> child_ranks_;  // parallel to children_
   std::vector<std::uint32_t> up_reports_;
   std::vector<std::uint32_t> up_size_;
   std::vector<std::uint32_t> up_depth_;

@@ -179,7 +179,8 @@ class Dhc1Protocol : public congest::Protocol {
       stage_seen_[x] = 2;
       if (is_agent_[x] != 0 || is_partner_[x] != 0) {
         const Message msg = Message::make(kAnnounce, {colors_[x]});
-        for (const NodeId w : ctx.neighbors()) ctx.send(w, msg);
+        const std::size_t degree = ctx.degree();
+        for (std::size_t i = 0; i < degree; ++i) ctx.send_to_rank(i, msg);
       }
     } else if (stage_ == Stage::kCensus && stage_seen_[x] != 3) {
       stage_seen_[x] = 3;
@@ -233,9 +234,7 @@ class Dhc1Protocol : public congest::Protocol {
       pending_partner_round_[x] = ctx.round();
       ctx.wake_in(1);
     }
-    for (const NodeId c : partition_setup_->children(x)) {
-      ctx.send(c, Message::make(kPick, {r}));
-    }
+    partition_setup_->send_to_children(ctx, Message::make(kPick, {r}));
   }
 
   void maybe_census_up(Context& ctx) {
@@ -246,15 +245,14 @@ class Dhc1Protocol : public congest::Protocol {
     const std::uint32_t min_group = std::min(up_min_[x], mine);
     up_reports_[x] = static_cast<std::uint32_t>(-1);  // sent
     if (global_setup_->parent(x) != kNoNode) {
-      ctx.send(global_setup_->parent(x),
-               Message::make(kCountUp, {count, static_cast<std::int64_t>(min_group)}));
+      global_setup_->send_to_parent(
+          ctx, Message::make(kCountUp, {count, static_cast<std::int64_t>(min_group)}));
     } else {
       // Root: publish the census.
       k_live_ = count;
       first_group_ = min_group;
-      for (const NodeId c : global_setup_->children(x)) {
-        ctx.send(c, Message::make(kCountDown, {count, static_cast<std::int64_t>(min_group)}));
-      }
+      global_setup_->send_to_children(
+          ctx, Message::make(kCountDown, {count, static_cast<std::int64_t>(min_group)}));
     }
   }
 
@@ -288,7 +286,7 @@ class Dhc1Protocol : public congest::Protocol {
       case kCountDown: {
         k_live_ = static_cast<std::uint32_t>(msg.data[0]);
         first_group_ = static_cast<std::uint32_t>(msg.data[1]);
-        for (const NodeId c : global_setup_->children(x)) ctx.send(c, msg);
+        global_setup_->send_to_children(ctx, msg);
         break;
       }
       case kFire: {

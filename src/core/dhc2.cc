@@ -78,6 +78,19 @@ std::uint32_t MergeEngine::cur_color(NodeId x) const {
 
 bool MergeEngine::flood_same_color(NodeId v, NodeId w) const { return cur_color(v) == cur_color(w); }
 
+void MergeEngine::flood_color(Context& ctx, const Message& msg, NodeId exclude) {
+  // One pre-built message to every same-color neighbor (minus `exclude`):
+  // the candidate/renumber flood loops carry most of DHC2's traffic, so the
+  // own-color lookup is hoisted and sends go by rank (no per-message
+  // neighbor search).
+  const std::uint32_t mine = cur_color(ctx.self());
+  const auto nb = ctx.neighbors();
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    const NodeId w = nb[i];
+    if (w != exclude && cur_color(w) == mine) ctx.send_to_rank(i, msg);
+  }
+}
+
 void MergeEngine::start_level(Network& net) {
   DHC_CHECK(levels_remaining(), "start_level called with no levels remaining");
   ++levels_started_;
@@ -119,9 +132,11 @@ void MergeEngine::on_discovery_start(Context& ctx) {
   if (alive_[x] == 0 || succ_[x] == kNoNode) return;
   const std::uint32_t mine = cur_color(x);
   if (mine % 2 == 0) return;
-  for (const NodeId w : ctx.neighbors()) {
-    if (cur_color(w) == mine + 1) {
-      ctx.send(w, Message::make(tag(kVerify), {succ_[x]}));
+  const Message msg = Message::make(tag(kVerify), {succ_[x]});
+  const auto nb = ctx.neighbors();
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    if (cur_color(nb[i]) == mine + 1) {
+      ctx.send_to_rank(i, msg);
       ++verify_messages_;
     }
   }
@@ -159,9 +174,7 @@ void MergeEngine::improve_candidate(Context& ctx, const Candidate& cand) {
   best_cand_[x] = cand;
   const Message msg = Message::make(
       tag(kCand), {cand.u, cand.uprime, cand.v, static_cast<std::int64_t>(cand.partner_size)});
-  for (const NodeId w : ctx.neighbors()) {
-    if (flood_same_color(x, w)) ctx.send(w, msg);
-  }
+  flood_color(ctx, msg);
 }
 
 void MergeEngine::apply_renum_i(Context& ctx, std::uint32_t t, std::uint32_t sj) {
@@ -324,9 +337,7 @@ void MergeEngine::step(Context& ctx) {
                           {pending_a_[x], pending_b_[x], pending_c_[x], pending_d_[x]});
     }
     pending_kind_[x] = 0;
-    for (const NodeId w : ctx.neighbors()) {
-      if (flood_same_color(x, w)) ctx.send(w, msg);
-    }
+    flood_color(ctx, msg);
   }
 
   process_check_queue(ctx);
@@ -393,9 +404,7 @@ void MergeEngine::handle_message(Context& ctx, const Message& msg) {
     case kRenumI: {
       if (renum_done_[x] != 0) break;
       renum_done_[x] = 1;
-      for (const NodeId w : ctx.neighbors()) {
-        if (w != msg.from && flood_same_color(x, w)) ctx.send(w, msg);
-      }
+      flood_color(ctx, msg, msg.from);
       apply_renum_i(ctx, static_cast<std::uint32_t>(msg.data[0]),
                     static_cast<std::uint32_t>(msg.data[1]));
       break;
@@ -403,9 +412,7 @@ void MergeEngine::handle_message(Context& ctx, const Message& msg) {
     case kRenumJ: {
       if (renum_done_[x] != 0) break;
       renum_done_[x] = 1;
-      for (const NodeId w : ctx.neighbors()) {
-        if (w != msg.from && flood_same_color(x, w)) ctx.send(w, msg);
-      }
+      flood_color(ctx, msg, msg.from);
       apply_renum_j(ctx, static_cast<std::uint32_t>(msg.data[0]),
                     static_cast<std::uint32_t>(msg.data[1]), msg.data[2] != 0,
                     static_cast<std::uint32_t>(msg.data[3]));

@@ -118,6 +118,8 @@ class MergeEngine {
 
   std::uint32_t cur_color(NodeId x) const;
   bool flood_same_color(NodeId v, NodeId w) const;
+  void flood_color(congest::Context& ctx, const congest::Message& msg,
+                   NodeId exclude = congest::kNoNode);
   void ensure_level(congest::Context& ctx);
   void on_discovery_start(congest::Context& ctx);
   void on_build_start(congest::Context& ctx);

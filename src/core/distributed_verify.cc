@@ -53,8 +53,9 @@ class VerifyProtocol : public congest::Protocol {
           if (msg.tag == kAlarm && alarm_seen_[x] == 0) {
             alarm_seen_[x] = 1;
             alarm_raised_ = true;
-            for (const NodeId w : ctx.neighbors()) {
-              if (w != msg.from) ctx.send(w, msg);
+            const auto nb = ctx.neighbors();
+            for (std::size_t i = 0; i < nb.size(); ++i) {
+              if (nb[i] != msg.from) ctx.send_to_rank(i, msg);
             }
           }
         }
@@ -215,7 +216,9 @@ class VerifyProtocol : public congest::Protocol {
     if (reason_.empty()) reason_ = why;
     if (alarm_seen_[x] != 0) return;  // an alarm already passed through here
     alarm_seen_[x] = 1;
-    for (const NodeId w : ctx.neighbors()) ctx.send(w, Message::make(kAlarm));
+    const Message msg = Message::make(kAlarm);
+    const std::size_t degree = ctx.degree();
+    for (std::size_t i = 0; i < degree; ++i) ctx.send_to_rank(i, msg);
   }
 
   enum class Stage : std::uint8_t { kSetup, kClaims, kWalk, kVerdictStage, kDone };

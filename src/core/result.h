@@ -29,7 +29,8 @@ struct Result {
   congest::Metrics metrics;
 
   /// Algorithm-specific counters, e.g. "steps", "rotations",
-  /// "wrong_port_rejects", "merge_levels", "root_solve_steps".
+  /// "wrong_port_rejects", "merge_levels", "root_solve_steps".  The runner
+  /// moves this map into its TrialResult (one map per trial — don't copy).
   std::map<std::string, double> stats;
 
   /// Algorithm-specific series, e.g. DHC2's "bridges_per_level".

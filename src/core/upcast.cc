@@ -1,12 +1,11 @@
 #include "core/upcast.h"
 
 #include <cmath>
-#include <deque>
 #include <optional>
-#include <unordered_map>
 
 #include "congest/network.h"
 #include "congest/setup.h"
+#include "support/flat_queue.h"
 #include "support/require.h"
 
 namespace dhc::core {
@@ -29,6 +28,7 @@ class UpcastProtocol : public congest::Protocol {
     up_queue_.resize(n);
     down_queue_.resize(n);
     route_.resize(n);
+    child_used_stamp_.assign(n, 0);
     incidence_.neighbors_of.assign(n, {kNoNode, kNoNode});
   }
 
@@ -49,8 +49,14 @@ class UpcastProtocol : public congest::Protocol {
           if (msg.tag != kRecord) continue;
           const auto u = static_cast<NodeId>(msg.data[0]);
           const auto w = static_cast<NodeId>(msg.data[1]);
-          // Remember which child leads to origin u (downcast routing).
-          if (route_[x].emplace(u, msg.from).second) ctx.charge_memory(2);
+          // Remember which child leads to origin u (downcast routing).  The
+          // table is a flat per-node array: every relayed record probes it
+          // once, and the old per-node hash maps paid a hashed insert per
+          // probe (tens of millions per collect-all run).
+          if (route_entry(x, u) == kNoNode) {
+            route_entry(x, u) = msg.from;
+            ctx.charge_memory(2);
+          }
           if (setup_.parent(x) == kNoNode) {
             root_edges_.emplace_back(std::min(u, w), std::max(u, w));
             ctx.charge_memory(2);
@@ -168,7 +174,7 @@ class UpcastProtocol : public congest::Protocol {
     const auto [u, w] = q.front();
     q.pop_front();
     ctx.charge_memory(-2);
-    ctx.send(setup_.parent(x), Message::make(kRecord, {u, w}));
+    setup_.send_to_parent(ctx, Message::make(kRecord, {u, w}));
     if (!q.empty()) ctx.wake_in(1);
   }
 
@@ -202,33 +208,42 @@ class UpcastProtocol : public congest::Protocol {
     auto& q = down_queue_[x];
     if (q.empty()) return;
     // Per-child budget this round: scan the queue, send at most one record
-    // to each child, keep the rest.
-    std::unordered_map<NodeId, bool> child_used;
-    std::deque<std::array<std::int64_t, 3>> rest;
-    while (!q.empty()) {
-      const auto rec = q.front();
-      q.pop_front();
+    // to each child, keep the rest.  child_used_stamp_ marks children used
+    // in this pass (one shared array, stamped per call — no per-round
+    // allocation), and unsent records are compacted in order into rest_.
+    ++pump_stamp_;
+    rest_.clear();
+    for (const auto& rec : q) {
       const auto w = static_cast<NodeId>(rec[0]);
-      const auto it = route_[x].find(w);
-      if (it == route_[x].end()) {
+      const NodeId child = route_entry(x, w);
+      if (child == kNoNode) {
         // No route: the target never upcast anything (disconnected input);
         // drop the record — verification will fail cleanly.
         ctx.charge_memory(-3);
         continue;
       }
-      if (child_used[it->second]) {
-        rest.push_back(rec);
+      if (child_used_stamp_[child] == pump_stamp_) {
+        rest_.push_back(rec);
         continue;
       }
-      child_used[it->second] = true;
+      child_used_stamp_[child] = pump_stamp_;
       ctx.charge_memory(-3);
-      ctx.send(it->second, Message::make(kDown, {rec[0], rec[1], rec[2]}));
+      ctx.send(child, Message::make(kDown, {rec[0], rec[1], rec[2]}));
     }
-    q.swap(rest);
+    q.assign_kept(rest_);
     if (!q.empty()) ctx.wake_in(1);
   }
 
   enum class Stage : std::uint8_t { kInit, kSetup, kUpcast, kSolve, kDowncast, kDone };
+
+  /// route_[x·n + u] = the child of x on the path to origin u (kNoNode when
+  /// unknown).  Flat n×n array, allocated lazily per node via route rows —
+  /// see route_entry(); total footprint n²·4 bytes only if every node routes.
+  NodeId& route_entry(NodeId x, NodeId u) {
+    auto& row = route_[x];
+    if (row.empty()) row.assign(n_, kNoNode);
+    return row[u];
+  }
 
   NodeId n_;
   UpcastConfig cfg_;
@@ -236,9 +251,12 @@ class UpcastProtocol : public congest::Protocol {
   Stage stage_ = Stage::kInit;
   std::string failure_;
   std::vector<std::uint8_t> stage_seen_ = std::vector<std::uint8_t>(n_, 0);
-  std::vector<std::deque<std::pair<NodeId, NodeId>>> up_queue_;
-  std::vector<std::deque<std::array<std::int64_t, 3>>> down_queue_;
-  std::vector<std::unordered_map<NodeId, NodeId>> route_;  // origin -> child
+  std::vector<support::FlatQueue<std::pair<NodeId, NodeId>>> up_queue_;
+  std::vector<support::FlatQueue<std::array<std::int64_t, 3>>> down_queue_;
+  std::vector<std::vector<NodeId>> route_;  // per node: origin -> child rows
+  std::vector<std::uint64_t> child_used_stamp_;
+  std::uint64_t pump_stamp_ = 0;
+  std::vector<std::array<std::int64_t, 3>> rest_;  // pump_down keep buffer
   std::vector<graph::Edge> root_edges_;
   graph::CycleIncidence incidence_;
   std::uint64_t sampled_ = 0;

@@ -1,21 +1,62 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "support/require.h"
 
 namespace dhc::graph {
 
+namespace {
+
+// Edges are canonicalized into packed (u << 32) | v keys, whose numeric
+// order is exactly the lexicographic pair order.  Generators that emit
+// edges in scan order (G(n, p) geometric skipping, collected edge lists in
+// node order) pass the is_sorted check and skip sorting entirely; anything
+// else gets an LSD radix sort — for the multi-million-edge lists the dense
+// experiments build, that replaces the comparison sort that used to
+// dominate Graph construction.
+void sort_keys(std::vector<std::uint64_t>& keys, NodeId n) {
+  if (keys.empty() || std::is_sorted(keys.begin(), keys.end())) return;
+  // u occupies bits [32, 32 + bit_width(n-1)); v the low bits.
+  const std::uint32_t key_bits =
+      32 + std::max<std::uint32_t>(1, std::bit_width(std::uint64_t{n - 1}));
+  constexpr std::uint32_t kDigitBits = 16;
+  constexpr std::size_t kBuckets = 1u << kDigitBits;
+  std::vector<std::uint64_t> scratch(keys.size());
+  std::vector<std::size_t> count(kBuckets);
+  for (std::uint32_t shift = 0; shift < key_bits; shift += kDigitBits) {
+    std::fill(count.begin(), count.end(), 0);
+    for (const auto k : keys) ++count[(k >> shift) & (kBuckets - 1)];
+    std::size_t sum = 0;
+    for (auto& c : count) {
+      const std::size_t next = sum + c;
+      c = sum;
+      sum = next;
+    }
+    for (const auto k : keys) scratch[count[(k >> shift) & (kBuckets - 1)]++] = k;
+    keys.swap(scratch);
+  }
+}
+
+}  // namespace
+
 Graph::Graph(NodeId n, const std::vector<Edge>& edges) : n_(n) {
-  std::vector<Edge> canonical;
-  canonical.reserve(edges.size());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(edges.size());
   for (const auto& [u, v] : edges) {
     DHC_REQUIRE(u < n && v < n, "edge (" << u << "," << v << ") outside node range [0," << n << ")");
     DHC_REQUIRE(u != v, "self-loop at node " << u);
-    canonical.emplace_back(std::min(u, v), std::max(u, v));
+    keys.push_back((std::uint64_t{std::min(u, v)} << 32) | std::max(u, v));
   }
-  std::sort(canonical.begin(), canonical.end());
-  canonical.erase(std::unique(canonical.begin(), canonical.end()), canonical.end());
+  sort_keys(keys, n);
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<Edge> canonical;
+  canonical.reserve(keys.size());
+  for (const auto k : keys) {
+    canonical.emplace_back(static_cast<NodeId>(k >> 32), static_cast<NodeId>(k));
+  }
 
   std::vector<std::uint64_t> degree(static_cast<std::size_t>(n) + 1, 0);
   for (const auto& [u, v] : canonical) {
@@ -27,23 +68,21 @@ Graph::Graph(NodeId n, const std::vector<Edge>& edges) : n_(n) {
 
   adjacency_.assign(offsets_[n], 0);
   std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  // Scattering the (u, v)-sorted canonical list fills every row in sorted
+  // order without a per-row sort pass: node w's lower neighbors arrive from
+  // edges (u, w) in increasing u, all of which precede every edge (w, x)
+  // (first component u < w), whose increasing-x order appends the higher
+  // neighbors.  graph_core_test pins this invariant against a reference
+  // adjacency built with std::set.
   for (const auto& [u, v] : canonical) {
     adjacency_[cursor[u]++] = v;
     adjacency_[cursor[v]++] = u;
-  }
-  // Canonical edge order already emits each node's neighbors in increasing
-  // order of the *other* endpoint only for u < v halves; sort per node to
-  // guarantee the invariant.
-  for (NodeId v = 0; v < n; ++v) {
-    std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
-              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
   }
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
   DHC_REQUIRE(u < n_ && v < n_, "has_edge(" << u << "," << v << ") outside node range");
-  const auto nb = neighbors(u);
-  return std::binary_search(nb.begin(), nb.end(), v);
+  return neighbor_rank(u, v) != kNoRank;
 }
 
 std::vector<Edge> Graph::edges() const {

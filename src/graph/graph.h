@@ -7,6 +7,7 @@
 // queries are O(log deg) and iteration order is deterministic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -42,6 +43,26 @@ class Graph {
   std::span<const NodeId> neighbors(NodeId v) const {
     return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
   }
+
+  /// Returned by neighbor_rank() when the queried pair is not an edge.
+  static constexpr std::size_t kNoRank = static_cast<std::size_t>(-1);
+
+  /// Position of `v` in u's sorted neighbor list (so offsets[u] + rank is
+  /// the directed-edge id of u→v), or kNoRank if (u, v) is not an edge.
+  /// O(log deg(u)); the CONGEST send path's only per-message graph query.
+  std::size_t neighbor_rank(NodeId u, NodeId v) const {
+    const NodeId* first = adjacency_.data() + offsets_[u];
+    const NodeId* last = adjacency_.data() + offsets_[u + 1];
+    const NodeId* it = std::lower_bound(first, last, v);
+    return (it != last && *it == v) ? static_cast<std::size_t>(it - first) : kNoRank;
+  }
+
+  /// Raw CSR row-offset table (n+1 entries); offsets()[v] is the index of
+  /// v's first neighbor in adjacency().
+  std::span<const std::uint64_t> row_offsets() const { return offsets_; }
+
+  /// Raw CSR adjacency array (2m entries, sorted within each row).
+  std::span<const NodeId> adjacency() const { return adjacency_; }
 
   /// Adjacency test in O(log deg(u)).
   bool has_edge(NodeId u, NodeId v) const;

@@ -11,6 +11,8 @@ KMachineCost::KMachineCost(NodeId n, std::uint32_t k, std::uint64_t bandwidth, s
   DHC_REQUIRE(k >= 2, "k-machine model needs at least 2 machines");
   DHC_REQUIRE(bandwidth >= 1, "per-link bandwidth must be at least 1 message/round");
   machine_of_.resize(n);
+  round_load_.assign(static_cast<std::size_t>(k) * k, 0);
+  touched_links_.reserve(static_cast<std::size_t>(k) * (k - 1) / 2);
   support::Rng rng(seed ^ 0x6b6d616368696e65ULL);
   for (NodeId v = 0; v < n; ++v) {
     machine_of_[v] = static_cast<std::uint32_t>(rng.below(k));
@@ -19,13 +21,14 @@ KMachineCost::KMachineCost(NodeId n, std::uint32_t k, std::uint64_t bandwidth, s
 
 void KMachineCost::flush_round() const {
   std::uint64_t busiest = 0;
-  for (const auto& [link, load] : round_load_) {
-    busiest = std::max(busiest, load);
+  for (const auto link : touched_links_) {
+    busiest = std::max(busiest, round_load_[link]);
+    round_load_[link] = 0;
   }
   if (busiest > 0) {
     rounds_accum_ += (busiest + bandwidth_ - 1) / bandwidth_;
   }
-  round_load_.clear();
+  touched_links_.clear();
 }
 
 void KMachineCost::on_send(NodeId from, NodeId to, std::uint64_t round) {
@@ -40,9 +43,9 @@ void KMachineCost::on_send(NodeId from, NodeId to, std::uint64_t round) {
     return;
   }
   ++cross_messages_;
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
-  const std::uint64_t load = ++round_load_[key];
+  const std::uint32_t link = std::min(a, b) * k_ + std::max(a, b);
+  const std::uint64_t load = ++round_load_[link];
+  if (load == 1) touched_links_.push_back(link);
   busiest_link_total_ = std::max(busiest_link_total_, load);
 }
 

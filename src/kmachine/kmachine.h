@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "congest/network.h"
@@ -56,8 +55,11 @@ class KMachineCost : public congest::MessageObserver {
   std::uint64_t bandwidth_;
   std::vector<std::uint32_t> machine_of_;
 
-  // Current-round link loads, keyed by (machine a << 32 | machine b), a < b.
-  mutable std::unordered_map<std::uint64_t, std::uint64_t> round_load_;
+  // Current-round link loads in a flat k×k table indexed a·k + b (a < b),
+  // with the touched cells listed for O(links-used) flushing — on_send runs
+  // once per simulated message, so it must not pay a hashed container.
+  mutable std::vector<std::uint64_t> round_load_;
+  mutable std::vector<std::uint32_t> touched_links_;
   mutable std::uint64_t current_round_ = 0;
   mutable std::uint64_t rounds_accum_ = 0;
   std::uint64_t cross_messages_ = 0;

@@ -77,6 +77,11 @@ std::vector<ConfigSummary> aggregate(const std::vector<TrialConfig>& trials,
     std::uint64_t successes = 0;
     double wall = 0.0;
   };
+  // One counting pass so each cell's metric vectors are reserved exactly
+  // once instead of growing geometrically while trials stream in.
+  std::map<std::size_t, std::size_t> cell_sizes;
+  for (const auto& t : trials) ++cell_sizes[t.config_index];
+
   std::map<std::size_t, Group> groups;
   for (std::size_t i = 0; i < trials.size(); ++i) {
     const auto& t = trials[i];
@@ -87,6 +92,11 @@ std::vector<ConfigSummary> aggregate(const std::vector<TrialConfig>& trials,
       g.config.trial_index = 0;
       g.config.graph_seed = 0;
       g.config.algo_seed = 0;
+      const std::size_t cell = cell_sizes[t.config_index];
+      g.rounds.reserve(cell);
+      g.messages.reserve(cell);
+      g.bits.reserve(cell);
+      g.memory.reserve(cell);
     }
     ++g.trials;
     g.wall += r.wall_seconds;

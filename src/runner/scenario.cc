@@ -30,6 +30,7 @@ std::string to_string(GraphFamily f) {
     case GraphFamily::kGnp: return "gnp";
     case GraphFamily::kGnm: return "gnm";
     case GraphFamily::kRegular: return "regular";
+    case GraphFamily::kPowerlaw: return "powerlaw";
   }
   return "?";
 }
@@ -56,7 +57,9 @@ GraphFamily parse_graph_family(const std::string& s) {
   if (s == "gnp") return GraphFamily::kGnp;
   if (s == "gnm") return GraphFamily::kGnm;
   if (s == "regular") return GraphFamily::kRegular;
-  throw std::invalid_argument("unknown graph family '" + s + "' (expected gnp|gnm|regular)");
+  if (s == "powerlaw" || s == "power-law" || s == "chung-lu") return GraphFamily::kPowerlaw;
+  throw std::invalid_argument("unknown graph family '" + s +
+                              "' (expected gnp|gnm|regular|powerlaw)");
 }
 
 core::MergeStrategy parse_merge_strategy(const std::string& s) {

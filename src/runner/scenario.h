@@ -41,8 +41,9 @@ enum class Algorithm : std::uint8_t {
 
 /// Input graph family.  All families are parameterized through (c, δ): the
 /// target edge probability is p = c·ln n / n^δ; G(n, M) matches its expected
-/// edge count and the regular family its expected degree.
-enum class GraphFamily : std::uint8_t { kGnp, kGnm, kRegular };
+/// edge count, the regular family its expected degree, and the powerlaw
+/// family (Chung–Lu with exponent-2.5 power-law weights) its average degree.
+enum class GraphFamily : std::uint8_t { kGnp, kGnm, kRegular, kPowerlaw };
 
 std::string to_string(Algorithm a);
 std::string to_string(GraphFamily f);

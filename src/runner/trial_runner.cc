@@ -42,27 +42,40 @@ graph::Graph make_trial_instance(const TrialConfig& t) {
       }
       return graph::random_regular(t.n, d, rng);
     }
+    case GraphFamily::kPowerlaw: {
+      // Chung–Lu with the paper-standard power-law exponent β = 2.5, scaled
+      // to the G(n, p) expected average degree so (c, δ) sweeps stay
+      // density-comparable across families.
+      const double average_degree = std::max(p * (t.n - 1), 1.0);
+      const auto weights = graph::power_law_weights(t.n, /*beta=*/2.5, average_degree);
+      return graph::chung_lu(weights, rng);
+    }
   }
   throw std::logic_error("unreachable graph family");
 }
 
 namespace {
 
-void fill_from_result(TrialResult& out, const core::Result& r) {
+// Moves the per-algorithm stats map (heap-allocated string keys, one map
+// per trial) and failure string into the TrialResult instead of copying
+// them; everything else on `r` — in particular `r.cycle`, which callers
+// verify afterwards — is left untouched.
+void fill_from_result(TrialResult& out, core::Result& r) {
   out.success = r.success;
-  out.failure_reason = r.failure_reason;
+  out.failure_reason = std::move(r.failure_reason);
   out.rounds = static_cast<double>(r.metrics.rounds);
   out.messages = static_cast<double>(r.metrics.messages);
   out.bits = static_cast<double>(r.metrics.bits);
   out.peak_memory = static_cast<double>(r.metrics.max_node_peak_memory());
   out.barriers = static_cast<double>(r.metrics.barrier_count);
   out.accounted_rounds = static_cast<double>(r.metrics.accounted_rounds());
-  out.stats = r.stats;
+  out.stats = std::move(r.stats);
 }
 
-void verify_incidence(TrialResult& out, const graph::Graph& g, const core::Result& r) {
+void verify_incidence(TrialResult& out, const graph::Graph& g,
+                      const graph::CycleIncidence& cycle) {
   if (!out.success) return;
-  const auto v = graph::verify_cycle_incidence(g, r.cycle);
+  const auto v = graph::verify_cycle_incidence(g, cycle);
   if (!v.ok()) {
     out.success = false;
     out.failure_reason = "verifier: " + *v.failure;
@@ -93,39 +106,39 @@ TrialResult run_trial_unchecked(const TrialConfig& t, bool verify) {
       break;
     }
     case Algorithm::kDra: {
-      const auto r = core::run_dra(g, t.algo_seed);
+      auto r = core::run_dra(g, t.algo_seed);
       fill_from_result(out, r);
-      if (verify) verify_incidence(out, g, r);
+      if (verify) verify_incidence(out, g, r.cycle);
       break;
     }
     case Algorithm::kDhc1: {
-      const auto r = core::run_dhc1(g, t.algo_seed);
+      auto r = core::run_dhc1(g, t.algo_seed);
       fill_from_result(out, r);
-      if (verify) verify_incidence(out, g, r);
+      if (verify) verify_incidence(out, g, r.cycle);
       break;
     }
     case Algorithm::kDhc2: {
       core::Dhc2Config cfg;
       cfg.delta = t.delta;
       cfg.merge_strategy = t.merge;
-      const auto r = core::run_dhc2(g, t.algo_seed, cfg);
+      auto r = core::run_dhc2(g, t.algo_seed, cfg);
       fill_from_result(out, r);
-      if (verify) verify_incidence(out, g, r);
+      if (verify) verify_incidence(out, g, r.cycle);
       break;
     }
     case Algorithm::kTurau: {
-      const auto r = core::run_turau(g, t.algo_seed);
+      auto r = core::run_turau(g, t.algo_seed);
       fill_from_result(out, r);
-      if (verify) verify_incidence(out, g, r);
+      if (verify) verify_incidence(out, g, r.cycle);
       break;
     }
     case Algorithm::kUpcast:
     case Algorithm::kCollectAll: {
       core::UpcastConfig cfg;
       cfg.collect_all = t.algo == Algorithm::kCollectAll;
-      const auto r = core::run_upcast(g, t.algo_seed, cfg);
+      auto r = core::run_upcast(g, t.algo_seed, cfg);
       fill_from_result(out, r);
-      if (verify) verify_incidence(out, g, r);
+      if (verify) verify_incidence(out, g, r.cycle);
       break;
     }
     case Algorithm::kDhc2KMachine: {

@@ -1,0 +1,62 @@
+// A FIFO queue on one flat vector: pop_front advances a cursor instead of
+// shifting or chunk-hopping.
+//
+// The CONGEST protocols keep one pipelining queue per node (upcast records,
+// verification checks) and push/pop one element per simulated round.
+// std::deque pays chunked allocation and pointer-chasing for that pattern;
+// FlatQueue appends to contiguous storage and reclaims it wholesale when the
+// queue drains (the common case: a pipeline empties completely between
+// bursts).  Iteration order and push/pop semantics match std::deque, so
+// swapping one for the other is observation-equivalent.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dhc::support {
+
+template <typename T>
+class FlatQueue {
+ public:
+  bool empty() const { return head_ == items_.size(); }
+  std::size_t size() const { return items_.size() - head_; }
+
+  void push_back(const T& value) { items_.push_back(value); }
+  void push_back(T&& value) { items_.push_back(std::move(value)); }
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    items_.emplace_back(std::forward<Args>(args)...);
+  }
+
+  const T& front() const { return items_[head_]; }
+
+  void pop_front() {
+    ++head_;
+    if (head_ == items_.size()) clear();
+  }
+
+  /// Drops everything but keeps the storage for reuse.
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+  /// The live elements, oldest first (for whole-queue scans).
+  const T* begin() const { return items_.data() + head_; }
+  const T* end() const { return items_.data() + items_.size(); }
+
+  /// Replaces the contents with `kept` (reusing storage); used by scan-and-
+  /// keep passes that filter the queue in one sweep.
+  void assign_kept(std::vector<T>& kept) {
+    items_.swap(kept);
+    head_ = 0;
+    kept.clear();
+  }
+
+ private:
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace dhc::support

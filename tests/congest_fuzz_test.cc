@@ -1,10 +1,18 @@
 // Randomized protocol fuzzing for the CONGEST simulator: seeded random
 // gossip protocols must (a) never trip the bandwidth checker when they send
 // compliantly, (b) conserve messages (sent == delivered), and (c) replay
-// bit-identically for equal seeds.
+// bit-identically for equal seeds.  A second suite drives seeded random
+// send/wake-up schedules through the arena simulator and through a naive
+// reference delivery model (plain per-node queues, no arenas, no wheel) and
+// requires byte-identical inbox logs — delivery order, timing, and
+// round-skipping must match the definitionally-correct model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <set>
+#include <sstream>
+#include <vector>
 
 #include "congest/network.h"
 #include "graph/generators.h"
@@ -94,6 +102,166 @@ TEST_P(GossipFuzz, ConservesMessagesAndReplaysDeterministically) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GossipFuzz, ::testing::Range<std::uint64_t>(0, 12));
+
+// --- differential fuzz: Network vs a naive reference delivery model --------
+
+// A node's action in a round is a pure function of (seed, node, round): which
+// neighbors to message, what payload, and how long to sleep.  Both the real
+// protocol below and the reference simulator evaluate this same function, so
+// any divergence in the logs is a delivery-model bug, not test noise.
+struct Plan {
+  std::vector<std::size_t> send_ranks;  // neighbor ranks to message
+  std::int64_t payload = 0;
+  std::uint64_t wake_delay = 0;  // 0 = no wake-up
+};
+
+Plan plan_for(std::uint64_t seed, graph::NodeId v, std::uint64_t round, std::size_t degree,
+              std::uint64_t horizon) {
+  Plan plan;
+  if (round >= horizon) return plan;  // quiesce eventually
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (v + 1)) ^ (round << 20);
+  std::uint64_t h = support::splitmix64(state);
+  plan.payload = static_cast<std::int64_t>(h & 0xffff);
+  for (std::size_t i = 0; i < degree; ++i) {
+    h = support::splitmix64(state);
+    if ((h & 3) == 0) plan.send_ranks.push_back(i);  // ~1/4 of neighbors
+  }
+  h = support::splitmix64(state);
+  switch (h % 5) {
+    case 0:
+      plan.wake_delay = 1 + (h >> 8) % 4;  // short: stays in the wheel
+      break;
+    case 1:
+      plan.wake_delay = 1200 + (h >> 8) % 64;  // beyond the wheel: far heap
+      break;
+    default:
+      break;  // no wake-up
+  }
+  return plan;
+}
+
+// Executes the plan through the real simulator, logging every delivered
+// message and every activation.
+class ScriptedProtocol : public Protocol {
+ public:
+  ScriptedProtocol(std::uint64_t seed, std::uint64_t horizon, std::ostringstream& log)
+      : seed_(seed), horizon_(horizon), log_(log) {}
+
+  void begin(Context& ctx) override {
+    if (ctx.self() % 3 == 0) act(ctx);  // seeders; round() == 0 here
+  }
+
+  void step(Context& ctx) override {
+    log_ << "r" << ctx.round() << " v" << ctx.self() << ":";
+    for (const Message& m : ctx.inbox()) {
+      log_ << " (" << m.from << "," << m.tag << "," << m.data[0] << ")";
+    }
+    log_ << "\n";
+    act(ctx);
+  }
+
+ private:
+  void act(Context& ctx) {
+    const Plan plan = plan_for(seed_, ctx.self(), ctx.round(), ctx.degree(), horizon_);
+    const auto nb = ctx.neighbors();
+    for (const std::size_t rank : plan.send_ranks) {
+      ctx.send(nb[rank], Message::make(7, {plan.payload, static_cast<std::int64_t>(rank)}));
+    }
+    if (plan.wake_delay != 0) ctx.wake_in(plan.wake_delay);
+  }
+
+  std::uint64_t seed_;
+  std::uint64_t horizon_;
+  std::ostringstream& log_;
+};
+
+// The reference model: plain per-round maps and per-node vectors, written
+// for obviousness.  Messages sent in round r arrive in round r+1; active
+// nodes run in ascending id order; per-node arrival order is global send
+// order; idle gaps are skipped but still numbered.
+std::string reference_run(const Graph& g, std::uint64_t seed, std::uint64_t horizon,
+                          std::uint64_t* rounds_out) {
+  struct Pending {
+    graph::NodeId from;
+    std::int64_t payload;
+    std::int64_t rank;
+  };
+  std::ostringstream log;
+  std::map<std::uint64_t, std::map<graph::NodeId, std::vector<Pending>>> mail;
+  std::map<std::uint64_t, std::set<graph::NodeId>> wake;
+
+  const auto act = [&](graph::NodeId v, std::uint64_t round) {
+    const Plan plan = plan_for(seed, v, round, g.degree(v), horizon);
+    const auto nb = g.neighbors(v);
+    for (const std::size_t rank : plan.send_ranks) {
+      mail[round + 1][nb[rank]].push_back(
+          {v, plan.payload, static_cast<std::int64_t>(rank)});
+    }
+    if (plan.wake_delay != 0) wake[round + plan.wake_delay].insert(v);
+  };
+
+  for (graph::NodeId v = 0; v < g.n(); ++v) {
+    if (v % 3 == 0) act(v, 0);
+  }
+  std::uint64_t round = 0;
+  while (!mail.empty() || !wake.empty()) {
+    // Next active round: earliest mail (always next round) or wake-up.
+    std::uint64_t next = static_cast<std::uint64_t>(-1);
+    if (!mail.empty()) next = std::min(next, mail.begin()->first);
+    if (!wake.empty()) next = std::min(next, wake.begin()->first);
+    round = next;
+    std::set<graph::NodeId> active;
+    auto mail_it = mail.find(round);
+    if (mail_it != mail.end()) {
+      for (const auto& [v, box] : mail_it->second) active.insert(v);
+    }
+    if (const auto wake_it = wake.find(round); wake_it != wake.end()) {
+      active.insert(wake_it->second.begin(), wake_it->second.end());
+      wake.erase(wake_it);
+    }
+    for (const graph::NodeId v : active) {  // std::set iterates ascending
+      log << "r" << round << " v" << v << ":";
+      if (mail_it != mail.end()) {
+        if (const auto box = mail_it->second.find(v); box != mail_it->second.end()) {
+          for (const auto& p : box->second) {
+            log << " (" << p.from << ",7," << p.payload << ")";
+          }
+        }
+      }
+      log << "\n";
+      act(v, round);
+      mail_it = mail.find(round);  // act() may invalidate via map inserts
+    }
+    if (mail_it != mail.end()) mail.erase(mail_it);
+  }
+  *rounds_out = round;
+  return log.str();
+}
+
+class DeliveryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeliveryFuzz, MatchesNaiveReferenceModel) {
+  const std::uint64_t seed = GetParam();
+  support::Rng grng(seed * 31 + 5);
+  const Graph g = graph::gnp(60 + static_cast<graph::NodeId>(seed % 40), 0.12, grng);
+  const std::uint64_t horizon = 30;
+
+  std::ostringstream real_log;
+  NetworkConfig cfg;
+  cfg.seed = seed;
+  Network net(g, cfg);
+  ScriptedProtocol protocol(seed, horizon, real_log);
+  const Metrics metrics = net.run(protocol);
+
+  std::uint64_t ref_rounds = 0;
+  const std::string expected = reference_run(g, seed, horizon, &ref_rounds);
+
+  EXPECT_EQ(real_log.str(), expected)
+      << "arena delivery diverged from the reference model (seed " << seed << ")";
+  EXPECT_EQ(metrics.rounds, ref_rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeliveryFuzz, ::testing::Range<std::uint64_t>(0, 10));
 
 }  // namespace
 }  // namespace dhc::congest

@@ -1,11 +1,19 @@
 // Unit tests for the CSR Graph core: construction, adjacency queries,
-// canonicalization, and induced subgraphs.
+// canonicalization, induced subgraphs, and the CSR representation
+// invariants the CONGEST hot path depends on (sorted deduplicated rows,
+// degree-consistent offsets, iteration order matching a reference
+// adjacency built independently with ordered sets).
 #include "graph/graph.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
+#include <vector>
+
+#include "graph/generators.h"
+#include "support/rng.h"
 
 namespace dhc::graph {
 namespace {
@@ -108,6 +116,92 @@ TEST(InducedSubgraph, EmptySelection) {
   const std::vector<NodeId> nodes;
   const auto sub = induced_subgraph(g, nodes);
   EXPECT_EQ(sub.graph.n(), 0u);
+}
+
+// --- CSR representation invariants -----------------------------------------
+
+// Reference adjacency built with ordered sets — deliberately independent of
+// the CSR scatter/sort machinery inside Graph's constructor.
+std::vector<std::vector<NodeId>> reference_adjacency(NodeId n, const std::vector<Edge>& edges) {
+  std::vector<std::set<NodeId>> sets(n);
+  for (const auto& [u, v] : edges) {
+    sets[u].insert(v);
+    sets[v].insert(u);
+  }
+  std::vector<std::vector<NodeId>> out(n);
+  for (NodeId v = 0; v < n; ++v) out[v].assign(sets[v].begin(), sets[v].end());
+  return out;
+}
+
+void expect_csr_invariants(const Graph& g, const std::vector<Edge>& edges) {
+  const auto offsets = g.row_offsets();
+  const auto adjacency = g.adjacency();
+  ASSERT_EQ(offsets.size(), static_cast<std::size_t>(g.n()) + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), adjacency.size());
+  EXPECT_EQ(adjacency.size(), 2 * g.m());
+
+  const auto reference = reference_adjacency(g.n(), edges);
+  std::size_t degree_sum = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    // Sorted, deduplicated, and degree-consistent with the offset table.
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    EXPECT_EQ(std::adjacent_find(nb.begin(), nb.end()), nb.end());
+    EXPECT_EQ(nb.size(), g.degree(v));
+    EXPECT_EQ(nb.size(), offsets[v + 1] - offsets[v]);
+    degree_sum += nb.size();
+    // Iteration order is pinned to the reference order — the guarantee the
+    // representation change must not move (protocol RNG draws and message
+    // order depend on it).
+    ASSERT_EQ(nb.size(), reference[v].size()) << "degree mismatch at node " << v;
+    EXPECT_TRUE(std::equal(nb.begin(), nb.end(), reference[v].begin()))
+        << "neighbor order diverged at node " << v;
+    // neighbor_rank agrees with the row layout for every present neighbor
+    // and reports absences.
+    for (std::size_t i = 0; i < nb.size(); ++i) EXPECT_EQ(g.neighbor_rank(v, nb[i]), i);
+    EXPECT_EQ(g.neighbor_rank(v, v), Graph::kNoRank);
+  }
+  EXPECT_EQ(degree_sum, 2 * g.m());
+}
+
+TEST(GraphCsr, InvariantsOnHandBuiltGraphs) {
+  const std::vector<Edge> edges{{4, 2}, {2, 4}, {0, 4}, {3, 1}, {1, 3}, {0, 1}, {2, 0}};
+  expect_csr_invariants(Graph(5, edges), edges);
+}
+
+TEST(GraphCsr, InvariantsOnRandomGraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    support::Rng rng(seed);
+    const NodeId n = 64 + static_cast<NodeId>(rng.below(64));
+    std::vector<Edge> edges;
+    const std::size_t want = 4 * n;
+    for (std::size_t i = 0; i < want; ++i) {
+      const auto u = static_cast<NodeId>(rng.below(n));
+      const auto v = static_cast<NodeId>(rng.below(n));
+      if (u != v) edges.emplace_back(u, v);  // duplicates + both orientations on purpose
+    }
+    expect_csr_invariants(Graph(n, edges), edges);
+  }
+}
+
+TEST(GraphCsr, InvariantsOnGeneratorOutputs) {
+  support::Rng rng(99);
+  const Graph g = gnp(200, 0.1, rng);
+  expect_csr_invariants(g, g.edges());
+  support::Rng rng2(7);
+  const Graph r = random_regular(120, 6, rng2);
+  expect_csr_invariants(r, r.edges());
+}
+
+TEST(GraphCsr, NeighborRankMatchesHasEdge) {
+  const Graph g(6, {{0, 1}, {0, 3}, {0, 5}, {2, 4}});
+  EXPECT_EQ(g.neighbor_rank(0, 1), 0u);
+  EXPECT_EQ(g.neighbor_rank(0, 3), 1u);
+  EXPECT_EQ(g.neighbor_rank(0, 5), 2u);
+  EXPECT_EQ(g.neighbor_rank(0, 2), Graph::kNoRank);
+  EXPECT_EQ(g.neighbor_rank(1, 0), 0u);
+  EXPECT_EQ(g.neighbor_rank(4, 2), 0u);
 }
 
 }  // namespace

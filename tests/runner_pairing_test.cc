@@ -70,6 +70,30 @@ TEST(Pairing, MergeStrategyAndMachineCountDoNotPerturbInstances) {
   }
 }
 
+TEST(Pairing, PowerlawFamilyPairsInstancesToo) {
+  Scenario s = three_way();
+  s.family = GraphFamily::kPowerlaw;
+  const auto trials = expand(s);
+  std::map<std::tuple<graph::NodeId, std::uint64_t>, std::vector<const TrialConfig*>> groups;
+  for (const auto& t : trials) groups[{t.n, t.trial_index}].push_back(&t);
+  ASSERT_EQ(groups.size(), 2u * 3u);
+  for (const auto& [key, members] : groups) {
+    ASSERT_EQ(members.size(), 3u);
+    const auto reference = make_trial_instance(*members[0]);
+    EXPECT_GT(reference.m(), 0u) << "powerlaw instance came out empty at n=" << std::get<0>(key);
+    const auto reference_edges = reference.edges();
+    for (const auto* t : members) {
+      EXPECT_EQ(make_trial_instance(*t).edges(), reference_edges)
+          << to_string(t->algo) << " got a different powerlaw instance at n=" << t->n
+          << " trial " << t->trial_index;
+    }
+  }
+  // Different family, same everything else → different instances (the family
+  // is folded into the graph seed, so cross-family sweeps are not aliased).
+  const auto gnp_trials = expand(three_way());
+  EXPECT_NE(trials[0].graph_seed, gnp_trials[0].graph_seed);
+}
+
 TEST(Pairing, DifferentBaseSeedsBreakThePairingOnPurpose) {
   Scenario a = three_way();
   Scenario b = three_way();

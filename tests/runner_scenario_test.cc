@@ -38,10 +38,22 @@ TEST(ParseAlgorithm, RejectsUnknown) {
 }
 
 TEST(ParseGraphFamily, RoundTripsAndRejects) {
-  for (const GraphFamily f : {GraphFamily::kGnp, GraphFamily::kGnm, GraphFamily::kRegular}) {
+  for (const GraphFamily f : {GraphFamily::kGnp, GraphFamily::kGnm, GraphFamily::kRegular,
+                              GraphFamily::kPowerlaw}) {
     EXPECT_EQ(parse_graph_family(to_string(f)), f);
   }
   EXPECT_THROW(parse_graph_family("smallworld"), std::invalid_argument);
+}
+
+TEST(ParseGraphFamily, PowerlawSpellingsAndSpec) {
+  EXPECT_EQ(parse_graph_family("powerlaw"), GraphFamily::kPowerlaw);
+  EXPECT_EQ(parse_graph_family("power-law"), GraphFamily::kPowerlaw);
+  EXPECT_EQ(parse_graph_family("chung-lu"), GraphFamily::kPowerlaw);
+  const Scenario s = scenario_from_spec({{"family", "powerlaw"}, {"sizes", "64"}});
+  EXPECT_EQ(s.family, GraphFamily::kPowerlaw);
+  const auto trials = expand(s);
+  ASSERT_FALSE(trials.empty());
+  EXPECT_EQ(trials[0].family, GraphFamily::kPowerlaw);
 }
 
 TEST(ParseMergeStrategy, RoundTripsAndRejects) {

@@ -12,7 +12,7 @@
 //   --scenario=FILE   key = value scenario file; other flags override it
 //   --name=STR        scenario name recorded in the artifacts
 //   --algos=LIST      sequential|dra|dhc1|dhc2|upcast|collect-all|dhc2-kmachine|turau
-//   --family=STR      gnp|gnm|regular
+//   --family=STR      gnp|gnm|regular|powerlaw
 //   --sizes=LIST      graph sizes n
 //   --deltas=LIST     density exponents, p = c·ln n / n^delta
 //   --cs=LIST         density constants
