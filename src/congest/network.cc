@@ -2,10 +2,29 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 
 #include "support/require.h"
 
 namespace dhc::congest {
+
+namespace {
+
+// Environment defaults for the sharding knobs: DHC_SHARDS / DHC_SHARD_GRAIN
+// apply wherever the caller leaves NetworkConfig at 0, which is how the CI
+// shard matrix runs the entire test suite sharded without per-test plumbing.
+std::uint32_t env_or(const char* name, std::uint32_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed == 0 || parsed > 1u << 20) return fallback;
+  return static_cast<std::uint32_t>(parsed);
+}
+
+}  // namespace
+
+std::uint32_t default_shards() { return env_or("DHC_SHARDS", 1); }
 
 std::uint64_t message_bits(const Message& msg, NodeId n) {
   // One word holds a node id (0..n-1), an index, or a size: ⌈log₂ n⌉ bits.
@@ -49,6 +68,8 @@ std::uint64_t Metrics::phase_rounds(const std::string& label) const {
 
 Network::Network(const graph::Graph& g, NetworkConfig cfg) : graph_(&g), cfg_(cfg) {
   DHC_REQUIRE(cfg_.edge_capacity >= 1, "edge_capacity must be at least 1");
+  shards_ = cfg_.shards != 0 ? cfg_.shards : default_shards();
+  shard_grain_ = cfg_.shard_grain != 0 ? cfg_.shard_grain : env_or("DHC_SHARD_GRAIN", 32);
   const std::size_t n = g.n();
   bits_per_word_ = std::max<std::uint64_t>(
       1, std::bit_width(std::uint64_t{n > 0 ? n - 1 : 0}));
@@ -77,9 +98,13 @@ void Network::throw_non_neighbor(NodeId from, NodeId to) const {
                          std::to_string(to) + " in round " + std::to_string(round_));
 }
 
-void Network::throw_over_capacity(NodeId from, NodeId to, const Message& msg) const {
+void Network::throw_over_capacity(const std::vector<Message>& round_outbox, NodeId from,
+                                  NodeId to, const Message& msg) const {
+  // All of this round's prior sends on (from → to) live in the sender's own
+  // outbox log — sequential or shard-local alike — so the diagnostic is
+  // identical for every shard count.
   std::string prior_tags;
-  for (const Message& queued : outbox_) {
+  for (const Message& queued : round_outbox) {
     if (queued.from == from && queued.to == to) prior_tags += " " + std::to_string(queued.tag);
   }
   throw CongestViolation("edge (" + std::to_string(from) + "→" + std::to_string(to) +
@@ -161,16 +186,22 @@ void Network::deliver_and_build_active_set() {
       active_.push_back(v);
     }
   }
-  // Steps must run in ascending node order (protocol RNG draws and send
-  // order depend on it).  For dense rounds — flood phases activate nearly
-  // every node — rebuilding the set from the has_mail_ bitmap is linear and
-  // branch-predictable, cheaper than sorting; sparse rounds sort directly.
+  // Steps must run in ascending node order (protocol RNG draws, send order,
+  // and the contiguity of shard slices all depend on it).  For dense rounds
+  // — flood phases activate nearly every node — rebuilding the set from the
+  // has_mail_ bitmap is linear and branch-predictable; the ascending scan is
+  // sorted by construction, so no sort runs on this path (asserted in debug
+  // builds).  Sparse rounds sort the activation-ordered list directly.
   if (active_.size() >= graph_->n() / 8) {
     active_.clear();
     const NodeId n = graph_->n();
     for (NodeId v = 0; v < n; ++v) {
       if (has_mail_[v] != 0) active_.push_back(v);
     }
+#ifndef NDEBUG
+    DHC_CHECK(std::is_sorted(active_.begin(), active_.end()),
+              "dense active-set rebuild must be id-sorted by construction");
+#endif
   } else {
     std::sort(active_.begin(), active_.end());
   }
@@ -179,6 +210,75 @@ void Network::deliver_and_build_active_set() {
   if (inbox_arena_.size() < outbox_.size()) inbox_arena_.resize(outbox_.size());
   for (const Message& m : outbox_) inbox_arena_[inbox_cursor_[m.to]++] = m;
   outbox_.clear();
+}
+
+void Network::step_active_set(Protocol& protocol) {
+  // The shard engine pays a per-round dispatch (pool wake + serial merge);
+  // rounds too small to amortize it step sequentially.  The gate depends
+  // only on deterministic state — active-set size, shard knobs, and the
+  // protocol's phase — so the choice of path is itself deterministic, and
+  // both paths produce bitwise-identical results by construction.
+  const bool shard_this_round = shards_ > 1 &&
+                                active_.size() >= static_cast<std::size_t>(shards_) * shard_grain_ &&
+                                protocol.parallel_step_safe();
+  if (!shard_this_round) {
+    for (const NodeId v : active_) {
+      Context ctx(*this, v, nullptr);
+      protocol.step(ctx);
+    }
+    return;
+  }
+  step_sharded(protocol);
+}
+
+void Network::step_sharded(Protocol& protocol) {
+  if (pool_ == nullptr) {
+    shard_state_.resize(shards_);
+    // The shard *partition* is fixed by shards_; the pool merely executes
+    // it, so worker count is capped by the hardware without affecting
+    // results (a 1-lane pool steps the shards back to back, in order).
+    pool_ = std::make_unique<support::WorkerPool>(
+        std::min<unsigned>(shards_, support::WorkerPool::hardware_lanes()));
+  }
+  const std::size_t count = active_.size();
+  const std::size_t s = shards_;
+  pool_->run(s, [&](std::size_t shard_index) {
+    ShardState& sh = shard_state_[shard_index];
+    const std::size_t begin = count * shard_index / s;
+    const std::size_t end = count * (shard_index + 1) / s;
+    for (std::size_t i = begin; i < end; ++i) {
+      Context ctx(*this, active_[i], &sh);
+      protocol.step(ctx);
+    }
+  });
+  merge_shard_logs();
+}
+
+void Network::merge_shard_logs() {
+  // Serial replay of the receiver-side bookkeeping, in shard order.  Shards
+  // are contiguous slices of the id-sorted active set and each shard's log
+  // is in its own send order, so this loop walks the messages in exactly
+  // the global sequential send order: next_active_ first-touch order, inbox
+  // scatter order, wheel bucket contents, and the observer event stream all
+  // come out identical to the sequential stepper's.
+  for (ShardState& sh : shard_state_) {
+    metrics_.messages += sh.messages;
+    metrics_.bits += sh.bits;
+    sh.messages = 0;
+    sh.bits = 0;
+    if (cfg_.observer != nullptr && !sh.events.empty()) {
+      cfg_.observer->on_events({sh.events.data(), sh.events.size()});
+      sh.events.clear();
+    }
+    for (const Message& m : sh.outbox) {
+      metrics_.node_messages_received[m.to] += 1;
+      if (inbox_count_[m.to]++ == 0) next_active_.push_back(m.to);
+    }
+    outbox_.insert(outbox_.end(), sh.outbox.begin(), sh.outbox.end());
+    sh.outbox.clear();
+    for (const auto& [delay, v] : sh.wakeups) arm_wakeup(v, delay);
+    sh.wakeups.clear();
+  }
 }
 
 Metrics Network::run(Protocol& protocol) {
@@ -193,7 +293,7 @@ Metrics Network::run(Protocol& protocol) {
   protocol_ = &protocol;
 
   for (NodeId v = 0; v < graph_->n(); ++v) {
-    Context ctx(*this, v);
+    Context ctx(*this, v, nullptr);
     protocol.begin(ctx);
   }
 
@@ -215,10 +315,8 @@ Metrics Network::run(Protocol& protocol) {
 
     deliver_and_build_active_set();
 
-    for (const NodeId v : active_) {
-      Context ctx(*this, v);
-      protocol.step(ctx);
-    }
+    step_active_set(protocol);
+
     for (const NodeId v : active_) {
       inbox_len_[v] = 0;
       has_mail_[v] = 0;

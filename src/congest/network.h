@@ -7,7 +7,7 @@
 // messages or armed wake-ups run — so simulation cost tracks message volume,
 // not n × rounds.
 //
-// Memory layout (DESIGN.md §7): the hot path is allocation-free in the
+// Memory layout (DESIGN.md §4): the hot path is allocation-free in the
 // steady state.  Sends append to a flat outbox log; at the next round's
 // delivery the log is scattered — stably, so per-node arrival order is the
 // global send order, exactly as the old per-node queues behaved — into a
@@ -17,6 +17,18 @@
 // instead of a std::map.  Both arenas and all wheel buckets are reused
 // across rounds.
 //
+// Sharded rounds (DESIGN.md §5): with cfg.shards > 1, large rounds step the
+// id-sorted active set as contiguous shard slices on a persistent worker
+// pool.  Each shard appends sends, wake-ups, and observer events to its own
+// logs; a serial merge in shard order then replays the receiver-side
+// bookkeeping.  Because the shards are contiguous slices of the id-sorted
+// active set, concatenating the shard logs reproduces the sequential global
+// send order exactly — the stable scatter, per-node inbox order, wheel
+// bucket contents, per-node RNG streams, and every Metrics counter are
+// bitwise identical for any shard count (including 1).  The shard partition
+// is independent of how many pool threads execute it, so determinism never
+// depends on the machine.
+//
 // Phase barriers: when the network goes quiescent (no messages in flight, no
 // wake-ups armed) the protocol's on_quiescence() hook runs; it can advance
 // to a new phase and wake nodes, or end the run.  Each such transition is
@@ -25,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <span>
 #include <stdexcept>
@@ -37,6 +50,7 @@
 #include "graph/graph.h"
 #include "support/require.h"
 #include "support/rng.h"
+#include "support/worker_pool.h"
 
 namespace dhc::congest {
 
@@ -47,13 +61,44 @@ class CongestViolation : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// One observed send, as recorded in a shard's event log.
+struct SendEvent {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint64_t round = 0;
+};
+
+namespace internal {
+
+/// Thread-local log of one shard's round: sends, wake-ups, observer events,
+/// and the shard's slice of the global counters.  Merged serially in shard
+/// order after the parallel section; cleared (capacity kept) every round.
+/// Cache-line aligned so neighboring shards' counters never share a line.
+struct alignas(64) ShardState {
+  std::vector<Message> outbox;
+  std::vector<std::pair<std::uint64_t, NodeId>> wakeups;  // (delay, node)
+  std::vector<SendEvent> events;  // populated only when an observer is attached
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+};
+
+}  // namespace internal
+
 /// Optional tap on the message stream, e.g. to re-price an execution under
 /// a different cost model (the k-machine conversion of paper §IV).
 class MessageObserver {
  public:
   virtual ~MessageObserver() = default;
-  /// Called for every sent message with the round it was sent in.
+  /// Called for every sent message with the round it was sent in
+  /// (sequential rounds only; sharded rounds deliver batches below).
   virtual void on_send(NodeId from, NodeId to, std::uint64_t round) = 0;
+  /// Called once per merged shard log on sharded rounds; events arrive in
+  /// the exact global send order, so the default — replaying them through
+  /// on_send() — makes any observer shard-correct.  Observers on hot paths
+  /// (KMachineCost) override this to consume the batch directly.
+  virtual void on_events(std::span<const SendEvent> events) {
+    for (const SendEvent& e : events) on_send(e.from, e.to, e.round);
+  }
 };
 
 struct NetworkConfig {
@@ -70,9 +115,24 @@ struct NetworkConfig {
 
   /// Optional message tap (not owned; must outlive the run).
   MessageObserver* observer = nullptr;
+
+  /// Shard count for intra-round parallelism.  0 resolves the DHC_SHARDS
+  /// environment variable (absent/invalid → 1); 1 is the classic sequential
+  /// stepper.  Results are bitwise identical for every value.
+  std::uint32_t shards = 0;
+
+  /// Minimum active nodes *per shard* before a round is dispatched to the
+  /// pool; smaller rounds step sequentially (identical results, no dispatch
+  /// overhead).  0 resolves DHC_SHARD_GRAIN (absent/invalid → 32).
+  std::uint32_t shard_grain = 0;
 };
 
 class Network;
+
+/// The DHC_SHARDS environment default applied when NetworkConfig::shards is
+/// left at 0 (absent/invalid → 1).  Exposed so the runner's thread-budget
+/// arbitration and the artifact headers agree with what the simulator runs.
+std::uint32_t default_shards();
 
 /// Per-node view handed to protocol code during a round.  Exposes only what
 /// a real node would have: its id, its neighbors, this round's inbox, its
@@ -114,15 +174,20 @@ class Context {
 
  private:
   friend class Network;
-  Context(Network& net, NodeId self) : net_(net), self_(self) {}
+  Context(Network& net, NodeId self, internal::ShardState* shard)
+      : net_(net), self_(self), shard_(shard) {}
   Network& net_;
   NodeId self_;
+  internal::ShardState* shard_;  // nullptr on sequential rounds
 };
 
 /// A distributed algorithm run by the Network.  Implementations hold all
 /// per-node state (indexed by NodeId) and must only touch state of the node
 /// whose Context they are given — that discipline is what makes the
-/// simulation faithful to a message-passing execution.
+/// simulation faithful to a message-passing execution, and what makes
+/// sharded rounds race-free.  Aggregate counters bumped inside step() must
+/// be atomic (their sums are order-independent); anything else shared and
+/// mutable disqualifies the affected rounds via parallel_step_safe().
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -140,10 +205,17 @@ class Protocol {
     (void)net;
     return false;
   }
+
+  /// Whether step() currently honors the per-node discipline above, queried
+  /// once per round (so phase flags flipped in on_quiescence are stable).
+  /// Protocols that route shared mutable state through plain members in
+  /// some phase (DHC1's hypernode walk) return false there; those rounds
+  /// step sequentially regardless of the shard count.
+  virtual bool parallel_step_safe() const { return true; }
 };
 
-/// The simulator.  Owns the message arenas, the wake-up wheel, and metrics
-/// for one run.
+/// The simulator.  Owns the message arenas, the wake-up wheel, the shard
+/// worker pool, and metrics for one run.
 class Network {
  public:
   Network(const graph::Graph& g, NetworkConfig cfg);
@@ -151,6 +223,9 @@ class Network {
   const graph::Graph& graph() const { return *graph_; }
   NodeId n() const { return graph_->n(); }
   std::uint64_t round() const { return round_; }
+
+  /// Resolved shard count (cfg.shards, or the DHC_SHARDS default).
+  std::uint32_t shards() const { return shards_; }
 
   /// Runs `protocol` to quiescence (or the round limit) and returns metrics.
   Metrics run(Protocol& protocol);
@@ -175,6 +250,8 @@ class Network {
  private:
   friend class Context;
 
+  using ShardState = internal::ShardState;
+
   /// Wake-up wheel: one bucket per upcoming round, indexed modulo the wheel
   /// size.  Every delay protocols use in practice is far below kWheelSize;
   /// the rare longer delay overflows into a (round, node) min-heap.  Rounds
@@ -185,24 +262,32 @@ class Network {
   static constexpr std::uint64_t kWheelMask = kWheelSize - 1;
 
   void deliver_and_build_active_set();
+  void step_active_set(Protocol& protocol);
+  void step_sharded(Protocol& protocol);
+  void merge_shard_logs();
   std::uint64_t next_armed_round() const;
   void arm_wakeup(NodeId v, std::uint64_t delay);
   bool any_wakeup_armed() const { return wheel_armed_ != 0 || !far_wakeups_.empty(); }
 
-  void send_from(NodeId from, NodeId to, const Message& msg);
-  void send_ranked(NodeId from, std::size_t rank, const Message& msg);
-  void commit_send(NodeId from, NodeId to, std::size_t edge_id, const Message& msg);
+  void send_from(ShardState* sh, NodeId from, NodeId to, const Message& msg);
+  void send_ranked(ShardState* sh, NodeId from, std::size_t rank, const Message& msg);
+  void commit_send(ShardState* sh, NodeId from, NodeId to, std::size_t edge_id,
+                   const Message& msg);
   [[noreturn]] void throw_non_neighbor(NodeId from, NodeId to) const;
-  [[noreturn]] void throw_over_capacity(NodeId from, NodeId to, const Message& msg) const;
+  [[noreturn]] void throw_over_capacity(const std::vector<Message>& round_outbox, NodeId from,
+                                        NodeId to, const Message& msg) const;
   support::Rng& node_rng(NodeId v) { return rngs_[v]; }
 
   const graph::Graph* graph_;
   NetworkConfig cfg_;
+  std::uint32_t shards_ = 1;       // resolved shard count
+  std::uint32_t shard_grain_ = 32;  // resolved min active nodes per shard
   std::uint64_t round_ = 0;
   Protocol* protocol_ = nullptr;
   std::uint64_t bits_per_word_ = 1;  // ⌈log₂ n⌉, hoisted out of the send path
 
-  // Message arenas (double-buffered): sends append to outbox_; delivery
+  // Message arenas (double-buffered): sends append to outbox_ (directly on
+  // sequential rounds, via the shard merge on sharded ones); delivery
   // scatters it into inbox_arena_, one contiguous slice per receiving node.
   std::vector<Message> outbox_;       // send order; size == messages in flight
   std::vector<Message> inbox_arena_;  // this round's inboxes, grouped by node
@@ -226,6 +311,9 @@ class Network {
                       std::greater<>>
       far_wakeups_;  // wake-ups ≥ kWheelSize rounds out (rare)
 
+  std::vector<ShardState> shard_state_;          // size shards_ when sharding
+  std::unique_ptr<support::WorkerPool> pool_;    // created on first sharded round
+
   std::vector<support::Rng> rngs_;
   Metrics metrics_;
 };
@@ -234,7 +322,11 @@ class Network {
 // Inline hot path.  One Context::send is one neighbor-rank lookup, one edge
 // budget check, metric bumps, and a single 48-byte append — no intermediate
 // Message copies (the old out-of-line path copied the struct three times)
-// and no per-message allocation once the outbox has warmed up.
+// and no per-message allocation once the outbox has warmed up.  On sharded
+// rounds the append, the global counters, and the receiver-side bookkeeping
+// go to the shard log instead (one predictable branch); everything the send
+// touches directly — the edge budget row and node_messages_sent[from] — is
+// owned by the sending node and therefore by exactly one shard.
 // ---------------------------------------------------------------------------
 
 inline void Network::arm_wakeup(NodeId v, std::uint64_t delay) {
@@ -247,37 +339,48 @@ inline void Network::arm_wakeup(NodeId v, std::uint64_t delay) {
   }
 }
 
-inline void Network::commit_send(NodeId from, NodeId to, std::size_t edge_id,
-                                 const Message& msg) {
+inline void Network::commit_send(ShardState* sh, NodeId from, NodeId to,
+                                 std::size_t edge_id, const Message& msg) {
   if (edge_load_round_[edge_id] != round_) {
     edge_load_round_[edge_id] = round_;
     edge_load_[edge_id] = 0;
   }
-  if (++edge_load_[edge_id] > cfg_.edge_capacity) throw_over_capacity(from, to, msg);
+  if (++edge_load_[edge_id] > cfg_.edge_capacity) {
+    throw_over_capacity(sh == nullptr ? outbox_ : sh->outbox, from, to, msg);
+  }
   DHC_CHECK(msg.words <= kMaxWords, "message exceeds payload word limit");
 
-  metrics_.messages += 1;
-  metrics_.bits += message_bits_for(msg.words, bits_per_word_);
   metrics_.node_messages_sent[from] += 1;
-  metrics_.node_messages_received[to] += 1;
-  if (cfg_.observer != nullptr) cfg_.observer->on_send(from, to, round_);
-
-  if (inbox_count_[to]++ == 0) next_active_.push_back(to);
-  Message& slot = outbox_.emplace_back(msg);
-  slot.from = from;
-  slot.to = to;
+  if (sh == nullptr) {
+    metrics_.messages += 1;
+    metrics_.bits += message_bits_for(msg.words, bits_per_word_);
+    metrics_.node_messages_received[to] += 1;
+    if (cfg_.observer != nullptr) cfg_.observer->on_send(from, to, round_);
+    if (inbox_count_[to]++ == 0) next_active_.push_back(to);
+    Message& slot = outbox_.emplace_back(msg);
+    slot.from = from;
+    slot.to = to;
+  } else {
+    sh->messages += 1;
+    sh->bits += message_bits_for(msg.words, bits_per_word_);
+    if (cfg_.observer != nullptr) sh->events.push_back({from, to, round_});
+    Message& slot = sh->outbox.emplace_back(msg);
+    slot.from = from;
+    slot.to = to;
+  }
 }
 
-inline void Network::send_from(NodeId from, NodeId to, const Message& msg) {
+inline void Network::send_from(ShardState* sh, NodeId from, NodeId to, const Message& msg) {
   const std::size_t rank = graph_->neighbor_rank(from, to);
   if (rank == graph::Graph::kNoRank) throw_non_neighbor(from, to);
-  commit_send(from, to, edge_offsets_[from] + rank, msg);
+  commit_send(sh, from, to, edge_offsets_[from] + rank, msg);
 }
 
-inline void Network::send_ranked(NodeId from, std::size_t rank, const Message& msg) {
+inline void Network::send_ranked(ShardState* sh, NodeId from, std::size_t rank,
+                                 const Message& msg) {
   const auto nb = graph_->neighbors(from);
   DHC_REQUIRE(rank < nb.size(), "send_to_rank: rank " << rank << " out of range for node " << from);
-  commit_send(from, nb[rank], edge_offsets_[from] + rank, msg);
+  commit_send(sh, from, nb[rank], edge_offsets_[from] + rank, msg);
 }
 
 inline std::uint64_t Context::round() const { return net_.round_; }
@@ -290,15 +393,21 @@ inline std::span<const Message> Context::inbox() const {
   return {net_.inbox_arena_.data() + net_.inbox_off_[self_], net_.inbox_len_[self_]};
 }
 
-inline void Context::send(NodeId to, const Message& msg) { net_.send_from(self_, to, msg); }
+inline void Context::send(NodeId to, const Message& msg) {
+  net_.send_from(shard_, self_, to, msg);
+}
 
 inline void Context::send_to_rank(std::size_t rank, const Message& msg) {
-  net_.send_ranked(self_, rank, msg);
+  net_.send_ranked(shard_, self_, rank, msg);
 }
 
 inline void Context::wake_in(std::uint64_t delay) {
   DHC_REQUIRE(delay >= 1, "wake_in delay must be at least 1 round");
-  net_.arm_wakeup(self_, delay);
+  if (shard_ == nullptr) {
+    net_.arm_wakeup(self_, delay);
+  } else {
+    shard_->wakeups.emplace_back(delay, self_);
+  }
 }
 
 inline support::Rng& Context::rng() { return net_.node_rng(self_); }

@@ -96,6 +96,17 @@ class Dhc1Protocol : public congest::Protocol {
     }
   }
 
+  bool parallel_step_safe() const override {
+    // Phase 1 (setup trees + per-partition DRA) honors the per-node
+    // discipline and shards cleanly — it also carries nearly all of DHC1's
+    // message volume.  Phase 2's hypernode walk deliberately coordinates
+    // through shared protocol scalars (head_, hyper_steps_, hyper_done_,
+    // the census results) as a simulator shortcut; those sparse rounds step
+    // sequentially under every shard count.
+    return stage_ == Stage::kInit || stage_ == Stage::kGlobalSetup ||
+           stage_ == Stage::kPartitionSetup || stage_ == Stage::kDra;
+  }
+
   bool on_quiescence(Network& net) override {
     switch (stage_) {
       case Stage::kInit:
@@ -683,6 +694,7 @@ Result run_dhc1(const graph::Graph& g, std::uint64_t seed, const Dhc1Config& cfg
 
   congest::NetworkConfig net_cfg;
   net_cfg.seed = seed;
+  net_cfg.shards = cfg.shards;
   congest::Network net(g, net_cfg);
   Dhc1Protocol protocol(n, num_colors, cfg);
   result.metrics = net.run(protocol);

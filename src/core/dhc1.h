@@ -51,6 +51,11 @@ struct Dhc1Config {
   std::uint32_t max_hyper_attempts = 8;
 
   DraConfig dra;
+
+  /// Simulator shard count for intra-trial parallelism (0 = the DHC_SHARDS
+  /// environment default; results are bitwise identical for every value —
+  /// see congest::NetworkConfig::shards).
+  std::uint32_t shards = 0;
 };
 
 /// Runs DHC1 end to end.  On success the cycle is in per-node incident-edge

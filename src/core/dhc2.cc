@@ -67,6 +67,11 @@ MergeEngine::MergeEngine(NodeId n, std::uint16_t base_tag, const congest::SetupC
   pending_b_.assign(n, 0);
   pending_c_.assign(n, 0);
   pending_d_.assign(n, 0);
+
+  // Per-level tallies are preallocated (atomic counters are not movable);
+  // only the first levels_started_ entries are ever exposed.
+  bridges_per_level_ = std::vector<support::ShardCounter<std::uint64_t>>(total_levels_);
+  candidates_per_level_ = std::vector<support::ShardCounter<std::uint64_t>>(total_levels_);
 }
 
 std::uint32_t MergeEngine::cur_color(NodeId x) const {
@@ -94,8 +99,6 @@ void MergeEngine::flood_color(Context& ctx, const Message& msg, NodeId exclude) 
 void MergeEngine::start_level(Network& net) {
   DHC_CHECK(levels_remaining(), "start_level called with no levels remaining");
   ++levels_started_;
-  bridges_per_level_.push_back(0);
-  candidates_per_level_.push_back(0);
   sub_phase_ = SubPhase::kDiscovery;
   net.wake_all();
 }
@@ -158,7 +161,7 @@ void MergeEngine::on_build_start(Context& ctx) {
   csize_[x] = s_i + cand.partner_size;
   renum_done_[x] = 1;
   ++bridges_built_;
-  ++bridges_per_level_.back();
+  ++bridges_per_level_[levels_started_ - 1];
   // The C_i renumber flood leaves next round (same-round sends to succ(v)
   // would collide with kBuildCut on that edge).
   pending_kind_[x] = 1;
@@ -287,7 +290,7 @@ void MergeEngine::step(Context& ctx) {
         cand.partner_size = static_cast<std::uint32_t>(msg.data[1]);
         if (!incoming.valid() || cand < incoming) incoming = cand;
         ++candidates_found_;
-        ++candidates_per_level_.back();
+        ++candidates_per_level_[levels_started_ - 1];
         break;
       }
       case kCand: {
@@ -575,6 +578,7 @@ Result run_dhc2(const graph::Graph& g, std::uint64_t seed, const Dhc2Config& cfg
   congest::NetworkConfig net_cfg;
   net_cfg.seed = seed;
   net_cfg.observer = cfg.observer;
+  net_cfg.shards = cfg.shards;
   congest::Network net(g, net_cfg);
   Dhc2Protocol protocol(n, num_colors, cfg);
   result.metrics = net.run(protocol);

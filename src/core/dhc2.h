@@ -37,6 +37,7 @@
 #include "congest/setup.h"
 #include "core/dra.h"
 #include "core/result.h"
+#include "support/atomic_stats.h"
 #include "graph/graph.h"
 
 namespace dhc::core {
@@ -57,6 +58,11 @@ struct Dhc2Config {
 
   /// Optional message tap for alternative cost models (k-machine, §IV).
   congest::MessageObserver* observer = nullptr;
+
+  /// Simulator shard count for intra-trial parallelism (0 = the DHC_SHARDS
+  /// environment default; results are bitwise identical for every value —
+  /// see congest::NetworkConfig::shards).
+  std::uint32_t shards = 0;
 };
 
 /// The Phase-2 merge engine; embedded in the DHC2 protocol and driven
@@ -92,8 +98,13 @@ class MergeEngine {
   std::uint64_t verify_messages() const { return verify_messages_; }
 
   /// Per-level breakdown (index 0 = first merge level; Fig. 3 / EXP-L8).
-  const std::vector<std::uint64_t>& bridges_per_level() const { return bridges_per_level_; }
-  const std::vector<std::uint64_t>& candidates_per_level() const { return candidates_per_level_; }
+  /// Materialized from the atomic tallies; one entry per started level.
+  std::vector<std::uint64_t> bridges_per_level() const {
+    return {bridges_per_level_.begin(), bridges_per_level_.begin() + levels_started_};
+  }
+  std::vector<std::uint64_t> candidates_per_level() const {
+    return {candidates_per_level_.begin(), candidates_per_level_.begin() + levels_started_};
+  }
 
  private:
   struct Candidate {
@@ -166,11 +177,13 @@ class MergeEngine {
   std::vector<std::int64_t> pending_c_;
   std::vector<std::int64_t> pending_d_;
 
-  std::uint64_t bridges_built_ = 0;
-  std::uint64_t candidates_found_ = 0;
-  std::uint64_t verify_messages_ = 0;
-  std::vector<std::uint64_t> bridges_per_level_;
-  std::vector<std::uint64_t> candidates_per_level_;
+  // Aggregate statistics, bumped from sharded step paths (relaxed atomics;
+  // sums are order-free, so results stay shard-invariant).
+  support::ShardCounter<std::uint64_t> bridges_built_ = 0;
+  support::ShardCounter<std::uint64_t> candidates_found_ = 0;
+  support::ShardCounter<std::uint64_t> verify_messages_ = 0;
+  std::vector<support::ShardCounter<std::uint64_t>> bridges_per_level_;
+  std::vector<support::ShardCounter<std::uint64_t>> candidates_per_level_;
 };
 
 /// Runs DHC2 end to end on `g`.  On success the returned cycle is in the

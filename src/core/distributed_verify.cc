@@ -1,6 +1,7 @@
 #include "core/distributed_verify.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "congest/setup.h"
 #include "support/require.h"
@@ -52,7 +53,7 @@ class VerifyProtocol : public congest::Protocol {
         for (const Message& msg : ctx.inbox()) {
           if (msg.tag == kAlarm && alarm_seen_[x] == 0) {
             alarm_seen_[x] = 1;
-            alarm_raised_ = true;
+            alarm_raised_.store(true, std::memory_order_relaxed);
             const auto nb = ctx.neighbors();
             for (std::size_t i = 0; i < nb.size(); ++i) {
               if (nb[i] != msg.from) ctx.send_to_rank(i, msg);
@@ -213,13 +214,36 @@ class VerifyProtocol : public congest::Protocol {
   void raise_alarm(Context& ctx, const char* why) {
     const NodeId x = ctx.self();
     alarm_raised_ = true;
-    if (reason_.empty()) reason_ = why;
+    // Record the node's first local reason; the run-level reason is reduced
+    // after the run as the earliest (round, node) record — the same answer
+    // the old shared first-write-wins string produced under sequential
+    // stepping, but free of cross-node writes in sharded rounds.
+    if (reason_round_[x] == kNoReason) {
+      reason_round_[x] = ctx.round();
+      reason_of_[x] = why;
+    }
     if (alarm_seen_[x] != 0) return;  // an alarm already passed through here
     alarm_seen_[x] = 1;
     const Message msg = Message::make(kAlarm);
     const std::size_t degree = ctx.degree();
     for (std::size_t i = 0; i < degree; ++i) ctx.send_to_rank(i, msg);
   }
+
+  /// Earliest alarm reason by (round, node id) — the sequential first-wins
+  /// order.  Empty when no node alarmed.
+  std::string first_reason() const {
+    std::uint64_t best_round = kNoReason;
+    const char* best = nullptr;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (reason_round_[v] < best_round) {
+        best_round = reason_round_[v];
+        best = reason_of_[v];
+      }
+    }
+    return best == nullptr ? std::string() : std::string(best);
+  }
+
+  static constexpr std::uint64_t kNoReason = static_cast<std::uint64_t>(-1);
 
   enum class Stage : std::uint8_t { kSetup, kClaims, kWalk, kVerdictStage, kDone };
 
@@ -228,13 +252,14 @@ class VerifyProtocol : public congest::Protocol {
   congest::SetupComponent setup_;
   Stage stage_ = Stage::kSetup;
   bool setup_started_ = false;
-  bool accepted_ = false;
-  bool token_done_ = false;
-  bool alarm_raised_ = false;
-  std::string reason_;
+  bool accepted_ = false;    // leader-only writer
+  bool token_done_ = false;  // leader-only writer
+  std::atomic<bool> alarm_raised_{false};  // same-value stores from many nodes
   std::vector<std::uint8_t> stage_seen_ = std::vector<std::uint8_t>(n_, 0);
   std::vector<std::uint8_t> alarm_seen_ = std::vector<std::uint8_t>(n_, 0);
   std::vector<std::uint8_t> visited_;
+  std::vector<std::uint64_t> reason_round_ = std::vector<std::uint64_t>(n_, kNoReason);
+  std::vector<const char*> reason_of_ = std::vector<const char*>(n_, nullptr);
 };
 
 }  // namespace
@@ -258,7 +283,8 @@ DistributedVerifyResult run_distributed_verify(const graph::Graph& g,
   out.metrics = net.run(protocol);
   if (protocol.alarm_raised_) {
     out.accepted = false;
-    out.reason = protocol.reason_.empty() ? "alarm raised" : protocol.reason_;
+    const std::string why = protocol.first_reason();
+    out.reason = why.empty() ? "alarm raised" : why;
     return out;
   }
   if (!protocol.token_done_ || !protocol.accepted_) {

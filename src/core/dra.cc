@@ -92,7 +92,7 @@ void DraComponent::finish_node(Context& ctx, bool succeeded) {
     } else {
       ++aborted_groups_;
     }
-    max_group_steps_ = std::max(max_group_steps_, my_steps_[v]);
+    max_group_steps_.update_max(my_steps_[v]);
   }
   (void)ctx;
 }
@@ -348,6 +348,7 @@ Result run_dra(const graph::Graph& g, std::uint64_t seed, const DraConfig& cfg) 
   }
   congest::NetworkConfig net_cfg;
   net_cfg.seed = seed;
+  net_cfg.shards = cfg.shards;
   congest::Network net(g, net_cfg);
   StandaloneDraProtocol protocol(g.n(), cfg);
   result.metrics = net.run(protocol);

@@ -29,6 +29,7 @@
 #include "congest/setup.h"
 #include "core/result.h"
 #include "graph/graph.h"
+#include "support/atomic_stats.h"
 
 namespace dhc::core {
 
@@ -54,6 +55,11 @@ struct DraConfig {
   /// drives partition failure to (small)^attempts — the "extend to failure
   /// probability O(1/n^α)" knob of Theorem 2, realized as restarts.
   std::uint32_t max_attempts = 8;
+
+  /// Simulator shard count for intra-trial parallelism (0 = the DHC_SHARDS
+  /// environment default; results are bitwise identical for every value —
+  /// see congest::NetworkConfig::shards).
+  std::uint32_t shards = 0;
 };
 
 /// Per-partition rotation engine, embedded in an enclosing Protocol.
@@ -141,16 +147,19 @@ class DraComponent {
   std::vector<std::uint32_t> attempt_;
   std::vector<std::uint64_t> attempt_start_steps_;
 
-  std::uint32_t done_count_ = 0;
-  std::uint64_t extensions_ = 0;
-  std::uint64_t rotations_ = 0;
-  std::uint64_t max_group_steps_ = 0;
-  std::uint32_t aborted_groups_ = 0;
-  std::uint32_t succeeded_groups_ = 0;
-  std::uint32_t starved_aborts_ = 0;
-  std::uint32_t budget_aborts_ = 0;
-  std::uint32_t tiny_aborts_ = 0;
-  std::uint32_t restarts_ = 0;
+  // Aggregate statistics, bumped from step paths where several partitions
+  // may be running in parallel shards — hence ShardCounter (relaxed atomic;
+  // sums and maxima are order-free, so results stay shard-invariant).
+  support::ShardCounter<std::uint32_t> done_count_ = 0;
+  support::ShardCounter<std::uint64_t> extensions_ = 0;
+  support::ShardCounter<std::uint64_t> rotations_ = 0;
+  support::ShardCounter<std::uint64_t> max_group_steps_ = 0;
+  support::ShardCounter<std::uint32_t> aborted_groups_ = 0;
+  support::ShardCounter<std::uint32_t> succeeded_groups_ = 0;
+  support::ShardCounter<std::uint32_t> starved_aborts_ = 0;
+  support::ShardCounter<std::uint32_t> budget_aborts_ = 0;
+  support::ShardCounter<std::uint32_t> tiny_aborts_ = 0;
+  support::ShardCounter<std::uint32_t> restarts_ = 0;
 };
 
 /// Runs DRA standalone with the whole graph as a single partition (the

@@ -7,6 +7,7 @@
 
 #include "congest/network.h"
 #include "congest/setup.h"
+#include "support/atomic_stats.h"
 #include "support/require.h"
 #include "support/rng.h"
 
@@ -439,11 +440,12 @@ class TurauProtocol : public congest::Protocol {
   std::vector<NodeId> head_know_;  // endpoint knowledge: the path's head id
 
   std::uint64_t max_levels_ = 0;
-  std::uint64_t levels_run_ = 0;
-  std::uint64_t merges_ = 0;
-  std::uint64_t sampled_edges_ = 0;
-  std::uint32_t initial_paths_ = 0;
-  std::uint32_t close_attempts_ = 0;
+  std::uint64_t levels_run_ = 0;  // advanced at quiescence barriers only
+  // Bumped from sharded step paths (relaxed atomics; order-free sums).
+  support::ShardCounter<std::uint64_t> merges_ = 0;
+  support::ShardCounter<std::uint64_t> sampled_edges_ = 0;
+  std::uint32_t initial_paths_ = 0;   // written at quiescence barriers only
+  std::uint32_t close_attempts_ = 0;  // written at quiescence barriers only
   std::vector<double> paths_per_level_;
 };
 
@@ -457,6 +459,7 @@ Result run_turau(const graph::Graph& g, std::uint64_t seed, const TurauConfig& c
   }
   congest::NetworkConfig net_cfg;
   net_cfg.seed = seed;
+  net_cfg.shards = cfg.shards;
   congest::Network net(g, net_cfg);
   TurauProtocol protocol(g.n(), seed, cfg);
   result.metrics = net.run(protocol);

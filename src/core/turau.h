@@ -48,6 +48,11 @@ struct TurauConfig {
   /// Rotations attempted while closing the final Hamiltonian path before
   /// giving up (each succeeds with probability ≈ p).
   std::uint32_t max_close_attempts = 64;
+
+  /// Simulator shard count for intra-trial parallelism (0 = the DHC_SHARDS
+  /// environment default; results are bitwise identical for every value —
+  /// see congest::NetworkConfig::shards).
+  std::uint32_t shards = 0;
 };
 
 /// Runs Turau's algorithm end to end.  On success the cycle is in the

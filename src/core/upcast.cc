@@ -5,6 +5,7 @@
 
 #include "congest/network.h"
 #include "congest/setup.h"
+#include "support/atomic_stats.h"
 #include "support/flat_queue.h"
 #include "support/require.h"
 
@@ -29,6 +30,7 @@ class UpcastProtocol : public congest::Protocol {
     down_queue_.resize(n);
     route_.resize(n);
     child_used_stamp_.assign(n, 0);
+    pump_stamp_.assign(n, 0);
     incidence_.neighbors_of.assign(n, {kNoNode, kNoNode});
   }
 
@@ -209,10 +211,14 @@ class UpcastProtocol : public congest::Protocol {
     if (q.empty()) return;
     // Per-child budget this round: scan the queue, send at most one record
     // to each child, keep the rest.  child_used_stamp_ marks children used
-    // in this pass (one shared array, stamped per call — no per-round
-    // allocation), and unsent records are compacted in order into rest_.
-    ++pump_stamp_;
-    rest_.clear();
+    // in this pass — each slot belongs to exactly one tree parent, so the
+    // stamp sequence is per-parent (pump_stamp_[x]) and pumping nodes in
+    // parallel shards never touch each other's slots.  Unsent records are
+    // compacted in order into a thread-local keep buffer (per-round scratch
+    // with no cross-node state, amortized like the old shared member).
+    const std::uint64_t stamp = ++pump_stamp_[x];
+    static thread_local std::vector<std::array<std::int64_t, 3>> rest;
+    rest.clear();
     for (const auto& rec : q) {
       const auto w = static_cast<NodeId>(rec[0]);
       const NodeId child = route_entry(x, w);
@@ -222,15 +228,15 @@ class UpcastProtocol : public congest::Protocol {
         ctx.charge_memory(-3);
         continue;
       }
-      if (child_used_stamp_[child] == pump_stamp_) {
-        rest_.push_back(rec);
+      if (child_used_stamp_[child] == stamp) {
+        rest.push_back(rec);
         continue;
       }
-      child_used_stamp_[child] = pump_stamp_;
+      child_used_stamp_[child] = stamp;
       ctx.charge_memory(-3);
       ctx.send(child, Message::make(kDown, {rec[0], rec[1], rec[2]}));
     }
-    q.assign_kept(rest_);
+    q.assign_kept(rest);
     if (!q.empty()) ctx.wake_in(1);
   }
 
@@ -254,13 +260,12 @@ class UpcastProtocol : public congest::Protocol {
   std::vector<support::FlatQueue<std::pair<NodeId, NodeId>>> up_queue_;
   std::vector<support::FlatQueue<std::array<std::int64_t, 3>>> down_queue_;
   std::vector<std::vector<NodeId>> route_;  // per node: origin -> child rows
-  std::vector<std::uint64_t> child_used_stamp_;
-  std::uint64_t pump_stamp_ = 0;
-  std::vector<std::array<std::int64_t, 3>> rest_;  // pump_down keep buffer
+  std::vector<std::uint64_t> child_used_stamp_;  // per child slot; written by its parent only
+  std::vector<std::uint64_t> pump_stamp_;        // per pumping parent
   std::vector<graph::Edge> root_edges_;
   graph::CycleIncidence incidence_;
-  std::uint64_t sampled_ = 0;
-  std::uint64_t root_solve_steps_ = 0;
+  support::ShardCounter<std::uint64_t> sampled_ = 0;  // bumped from sharded steps
+  std::uint64_t root_solve_steps_ = 0;  // root-only writer
 };
 
 }  // namespace
@@ -273,6 +278,7 @@ Result run_upcast(const graph::Graph& g, std::uint64_t seed, const UpcastConfig&
   }
   congest::NetworkConfig net_cfg;
   net_cfg.seed = seed;
+  net_cfg.shards = cfg.shards;
   congest::Network net(g, net_cfg);
   UpcastProtocol protocol(g.n(), cfg);
   result.metrics = net.run(protocol);

@@ -36,6 +36,11 @@ struct UpcastConfig {
 
   /// Root's local solver budget.
   RotationConfig root_solver;
+
+  /// Simulator shard count for intra-trial parallelism (0 = the DHC_SHARDS
+  /// environment default; results are bitwise identical for every value —
+  /// see congest::NetworkConfig::shards).
+  std::uint32_t shards = 0;
 };
 
 /// Runs Upcast (or CollectAll) end to end.  Stats include "root_edges",

@@ -32,6 +32,17 @@ void KMachineCost::flush_round() const {
 }
 
 void KMachineCost::on_send(NodeId from, NodeId to, std::uint64_t round) {
+  record(from, to, round);
+}
+
+void KMachineCost::on_events(std::span<const congest::SendEvent> events) {
+  // Events arrive in global send order (shard logs are merged in shard
+  // order), so replaying them through the same per-message pricing yields
+  // bit-identical link loads and round charges as the live feed.
+  for (const congest::SendEvent& e : events) record(e.from, e.to, e.round);
+}
+
+void KMachineCost::record(NodeId from, NodeId to, std::uint64_t round) {
   if (round != current_round_) {
     flush_round();
     current_round_ = round;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "congest/network.h"
@@ -30,6 +31,12 @@ namespace dhc::kmachine {
 using graph::NodeId;
 
 /// Prices a CONGEST execution under the k-machine model.
+///
+/// Attach as NetworkConfig::observer: sequential rounds price each message
+/// live through on_send(); sharded rounds deliver the merged per-round event
+/// log through on_events() (congest/network.h), which walks the batch in the
+/// exact global send order — the two feeds produce identical prices, pinned
+/// by kmachine_test.
 class KMachineCost : public congest::MessageObserver {
  public:
   /// Randomly partitions nodes 0..n-1 over k machines (the model's random
@@ -37,6 +44,11 @@ class KMachineCost : public congest::MessageObserver {
   KMachineCost(NodeId n, std::uint32_t k, std::uint64_t bandwidth, std::uint64_t seed);
 
   void on_send(NodeId from, NodeId to, std::uint64_t round) override;
+
+  /// Merged-event-log pricing: one virtual call per shard log instead of one
+  /// per message (the k-machine conversion rides the simulator's hottest
+  /// path, so the batch entry point matters).
+  void on_events(std::span<const congest::SendEvent> events) override;
 
   /// Which machine hosts node v.
   std::uint32_t machine_of(NodeId v) const { return machine_of_[v]; }
@@ -49,6 +61,7 @@ class KMachineCost : public congest::MessageObserver {
   std::uint64_t busiest_link_total() const { return busiest_link_total_; }
 
  private:
+  void record(NodeId from, NodeId to, std::uint64_t round);
   void flush_round() const;
 
   std::uint32_t k_;

@@ -143,10 +143,15 @@ BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions
 
   const auto trials = expand(preset.scenario);
   m.trials = trials.size();
+  // Resolve once and pass the same value to the run, so the recorded split
+  // is by construction the split that executed.
+  const ResolvedParallelism par = resolve_parallelism(trials.size(), opt);
+  m.threads = par.threads;
+  m.shards = par.shards;
 
   const bool per_preset_rss = reset_rss_peak();
   const auto start = std::chrono::steady_clock::now();
-  const auto results = run_trials(trials, opt);
+  const auto results = run_trials(trials, opt, par);
   m.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
@@ -163,13 +168,14 @@ BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions
 }
 
 void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& measurements,
-                      unsigned threads) {
-  os << "{\n  \"bench\": \"congest\",\n  \"schema\": 1,\n  \"threads\": " << threads
-     << ",\n  \"scenarios\": [\n";
+                      unsigned threads, std::uint32_t shards) {
+  os << "{\n  \"bench\": \"congest\",\n  \"schema\": 2,\n  \"threads\": " << threads
+     << ",\n  \"shards\": " << shards << ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < measurements.size(); ++i) {
     const auto& m = measurements[i];
     os << "    {\"name\": \"" << m.name << "\", \"trials\": " << m.trials
-       << ", \"successes\": " << m.successes << ", \"wall_seconds\": " << m.wall_seconds
+       << ", \"successes\": " << m.successes << ", \"threads\": " << m.threads
+       << ", \"shards\": " << m.shards << ", \"wall_seconds\": " << m.wall_seconds
        << ", \"trials_per_sec\": " << m.trials_per_sec
        << ", \"messages_total\": " << m.messages_total
        << ", \"messages_per_sec\": " << m.messages_per_sec

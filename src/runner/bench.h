@@ -44,6 +44,11 @@ struct BenchMeasurement {
   std::string name;
   std::uint64_t trials = 0;
   std::uint64_t successes = 0;
+  /// The arbitrated thread/shard split this preset actually ran with
+  /// (resolve_parallelism of the preset's trial count against the options) —
+  /// recorded per preset because presets differ in trial count.
+  unsigned threads = 1;
+  std::uint32_t shards = 1;
   double wall_seconds = 0.0;
   double trials_per_sec = 0.0;
   /// Total CONGEST messages simulated across all trials and the resulting
@@ -60,10 +65,12 @@ struct BenchMeasurement {
 /// expansion and artifact writing are excluded).
 BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions& opt);
 
-/// BENCH_congest.json: {"bench": "congest", "schema": 1, "threads": T,
-/// "scenarios": [...]}.  Field order is fixed so runs diff cleanly.
+/// BENCH_congest.json: {"bench": "congest", "schema": 2, "threads": T,
+/// "shards": S, "scenarios": [...]} where threads/shards are the requested
+/// options (shards 0 = auto) and every scenario records the resolved
+/// per-preset split.  Field order is fixed so runs diff cleanly.
 void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& measurements,
-                      unsigned threads);
+                      unsigned threads, std::uint32_t shards);
 
 /// Current process peak RSS in kilobytes (getrusage), 0 if unavailable.
 long current_peak_rss_kb();

@@ -1,10 +1,8 @@
 #include "runner/trial_runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
-#include <thread>
 
 #include "core/dhc1.h"
 #include "core/dhc2.h"
@@ -17,6 +15,7 @@
 #include "graph/hamiltonian.h"
 #include "kmachine/kmachine.h"
 #include "support/rng.h"
+#include "support/worker_pool.h"
 
 namespace dhc::runner {
 
@@ -82,7 +81,7 @@ void verify_incidence(TrialResult& out, const graph::Graph& g,
   }
 }
 
-TrialResult run_trial_unchecked(const TrialConfig& t, bool verify) {
+TrialResult run_trial_unchecked(const TrialConfig& t, bool verify, std::uint32_t shards) {
   TrialResult out;
   const graph::Graph g = make_trial_instance(t);
 
@@ -106,13 +105,17 @@ TrialResult run_trial_unchecked(const TrialConfig& t, bool verify) {
       break;
     }
     case Algorithm::kDra: {
-      auto r = core::run_dra(g, t.algo_seed);
+      core::DraConfig cfg;
+      cfg.shards = shards;
+      auto r = core::run_dra(g, t.algo_seed, cfg);
       fill_from_result(out, r);
       if (verify) verify_incidence(out, g, r.cycle);
       break;
     }
     case Algorithm::kDhc1: {
-      auto r = core::run_dhc1(g, t.algo_seed);
+      core::Dhc1Config cfg;
+      cfg.shards = shards;
+      auto r = core::run_dhc1(g, t.algo_seed, cfg);
       fill_from_result(out, r);
       if (verify) verify_incidence(out, g, r.cycle);
       break;
@@ -121,13 +124,16 @@ TrialResult run_trial_unchecked(const TrialConfig& t, bool verify) {
       core::Dhc2Config cfg;
       cfg.delta = t.delta;
       cfg.merge_strategy = t.merge;
+      cfg.shards = shards;
       auto r = core::run_dhc2(g, t.algo_seed, cfg);
       fill_from_result(out, r);
       if (verify) verify_incidence(out, g, r.cycle);
       break;
     }
     case Algorithm::kTurau: {
-      auto r = core::run_turau(g, t.algo_seed);
+      core::TurauConfig cfg;
+      cfg.shards = shards;
+      auto r = core::run_turau(g, t.algo_seed, cfg);
       fill_from_result(out, r);
       if (verify) verify_incidence(out, g, r.cycle);
       break;
@@ -136,6 +142,7 @@ TrialResult run_trial_unchecked(const TrialConfig& t, bool verify) {
     case Algorithm::kCollectAll: {
       core::UpcastConfig cfg;
       cfg.collect_all = t.algo == Algorithm::kCollectAll;
+      cfg.shards = shards;
       auto r = core::run_upcast(g, t.algo_seed, cfg);
       fill_from_result(out, r);
       if (verify) verify_incidence(out, g, r.cycle);
@@ -145,6 +152,7 @@ TrialResult run_trial_unchecked(const TrialConfig& t, bool verify) {
       core::Dhc2Config cfg;
       cfg.delta = t.delta;
       cfg.merge_strategy = t.merge;
+      cfg.shards = shards;
       const auto r = kmachine::convert_dhc2(g, t.algo_seed, t.machines, t.bandwidth, cfg);
       out.success = r.success;
       if (!r.success) out.failure_reason = "dhc2 failed under k-machine pricing";
@@ -166,11 +174,11 @@ TrialResult run_trial_unchecked(const TrialConfig& t, bool verify) {
 
 }  // namespace
 
-TrialResult run_trial(const TrialConfig& t, bool verify) {
+TrialResult run_trial(const TrialConfig& t, bool verify, std::uint32_t shards) {
   const auto start = std::chrono::steady_clock::now();
   TrialResult out;
   try {
-    out = run_trial_unchecked(t, verify);
+    out = run_trial_unchecked(t, verify, shards);
   } catch (const std::exception& e) {
     out = TrialResult{};
     out.success = false;
@@ -180,30 +188,61 @@ TrialResult run_trial(const TrialConfig& t, bool verify) {
   return out;
 }
 
+ResolvedParallelism resolve_parallelism(std::size_t trial_count, const RunnerOptions& opt) {
+  const unsigned hw = support::WorkerPool::hardware_lanes();
+  // Clamp the requested budget against the hardware *before* the
+  // trial-count min: asking for 64 threads on an 8-way box runs 8 of them,
+  // and the artifacts record the 8 that actually ran.
+  const unsigned budget = opt.threads == 0 ? hw : std::max(1u, std::min(opt.threads, hw));
+
+  ResolvedParallelism r;
+  if (opt.shards != 0) {
+    // Explicit shard count: honored verbatim — the shard *partition* is a
+    // determinism knob, not a thread count; the in-trial pool caps its own
+    // workers at the hardware.
+    r.shards = opt.shards;
+  } else if (congest::default_shards() != 1) {
+    // A DHC_SHARDS environment default is as explicit as a flag (it is how
+    // the CI shard matrix drives everything sharded).
+    r.shards = congest::default_shards();
+  } else if (trial_count >= budget) {
+    // Many small trials: trial-parallelism uses the whole budget.
+    r.shards = 1;
+  } else {
+    // Few huge trials: split the budget, leftover lanes become shards.
+    r.shards = budget / static_cast<unsigned>(std::max<std::size_t>(trial_count, 1));
+  }
+  r.shards = std::max<std::uint32_t>(r.shards, 1);
+
+  // Oversubscription clamp: concurrent trials shrink so that
+  // trials × min(shards, budget) never exceeds the budget.
+  const unsigned lanes_per_trial = std::min<unsigned>(r.shards, budget);
+  r.threads = std::max(1u, budget / lanes_per_trial);
+  if (trial_count > 0) {
+    r.threads = std::min<unsigned>(r.threads, static_cast<unsigned>(trial_count));
+  }
+  return r;
+}
+
 std::vector<TrialResult> run_trials(const std::vector<TrialConfig>& trials,
                                     const RunnerOptions& opt) {
+  return run_trials(trials, opt, resolve_parallelism(trials.size(), opt));
+}
+
+std::vector<TrialResult> run_trials(const std::vector<TrialConfig>& trials,
+                                    const RunnerOptions& opt,
+                                    const ResolvedParallelism& par) {
   std::vector<TrialResult> results(trials.size());
-  unsigned threads = opt.threads != 0 ? opt.threads : std::thread::hardware_concurrency();
-  threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(trials.size())));
+  if (trials.empty()) return results;
 
-  // Workers claim trial indices from a shared counter and write into their
-  // own slot; result content depends only on the TrialConfig, so the claim
-  // order (and thread count) cannot affect aggregates.
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < trials.size(); i = next.fetch_add(1)) {
-      results[i] = run_trial(trials[i], opt.verify);
-    }
-  };
-
-  if (threads == 1) {
-    worker();
-    return results;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  // Workers claim trial indices from the pool's shared cursor and write into
+  // their own slot; result content depends only on (TrialConfig, verify) —
+  // the shard count is behavior-neutral by construction — so neither the
+  // claim order nor the thread/shard split can affect aggregates.
+  support::WorkerPool pool(par.threads);
+  pool.run(trials.size(), [&](std::size_t i) {
+    results[i] = run_trial(trials[i], opt.verify, par.shards);
+  });
   return results;
 }
 

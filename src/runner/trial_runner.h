@@ -2,11 +2,17 @@
 //
 // Every trial is a pure function of its TrialConfig — the graph is generated
 // from graph_seed, the solver from algo_seed, and no state is shared between
-// trials — so run_trials() can hand the list to a std::thread worker pool
-// and still produce results that are bitwise independent of thread count and
+// trials — so run_trials() can hand the list to a support::WorkerPool and
+// still produce results that are bitwise independent of thread count and
 // scheduling order: workers write into a pre-sized vector slot keyed by the
 // trial's position, never append.  Only wall_seconds varies between runs,
 // and it is excluded from every aggregate and artifact.
+//
+// The thread budget is arbitrated between the two parallelism axes
+// (resolve_parallelism): many small trials run trial-parallel with
+// sequential simulators; few huge trials run near-serially with *sharded*
+// simulators (congest/network.h), which are bitwise identical to the
+// sequential ones — so aggregates are also independent of the shard split.
 #pragma once
 
 #include <cstdint>
@@ -45,12 +51,34 @@ struct TrialResult {
 };
 
 struct RunnerOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Worker-thread budget shared by trial- and shard-parallelism; 0 means
+  /// std::thread::hardware_concurrency().  Always clamped to the hardware
+  /// before any other arbitration, so the resolved split describes what
+  /// actually ran.
   unsigned threads = 1;
   /// Verify returned cycles against the input graph (recommended; the
   /// k-machine conversion reports success only, nothing to verify).
   bool verify = true;
+  /// Simulator shards per trial.  0 = auto: prefer trial-parallelism when
+  /// there are at least as many trials as budget lanes, otherwise hand the
+  /// leftover lanes to each trial as shards (few huge trials — the regime
+  /// where runner-level parallelism is useless).  Any value produces
+  /// bitwise-identical aggregates; only wall-clock changes.
+  std::uint32_t shards = 0;
 };
+
+/// The arbitrated thread/shard split for a run: `threads` concurrent trials,
+/// each simulated with `shards` shards (threads × shards stays within the
+/// clamped budget; an explicit RunnerOptions::shards is honored as the
+/// partition count, and the in-trial pool caps its own workers at the
+/// hardware).  Recorded in artifacts so bench JSONs are self-describing.
+struct ResolvedParallelism {
+  unsigned threads = 1;
+  std::uint32_t shards = 1;
+};
+
+/// Resolves `opt` against the machine and the trial count.
+ResolvedParallelism resolve_parallelism(std::size_t trial_count, const RunnerOptions& opt);
 
 /// Generates a trial's input graph deterministically from its graph_seed and
 /// instance parameters (family, n, delta, c).  Exposed so tests can pin the
@@ -58,14 +86,24 @@ struct RunnerOptions {
 /// merge strategy, or machine count receive bitwise-identical graphs.
 graph::Graph make_trial_instance(const TrialConfig& t);
 
-/// Generates the instance deterministically from `t` and runs its solver.
-/// Failures (including thrown std::exception) are reported as unsuccessful
-/// results, never propagated.
-TrialResult run_trial(const TrialConfig& t, bool verify = true);
+/// Generates the instance deterministically from `t` and runs its solver
+/// with `shards` simulator shards (0 = the DHC_SHARDS environment default;
+/// every value yields bitwise-identical results).  Failures (including
+/// thrown std::exception) are reported as unsuccessful results, never
+/// propagated.
+TrialResult run_trial(const TrialConfig& t, bool verify = true, std::uint32_t shards = 0);
 
 /// Runs all trials on a worker pool and returns results in trial order.
-/// Aggregate-relevant fields are identical for every `opt.threads` value.
+/// Aggregate-relevant fields are identical for every `opt.threads` /
+/// `opt.shards` value.
 std::vector<TrialResult> run_trials(const std::vector<TrialConfig>& trials,
                                     const RunnerOptions& opt = {});
+
+/// Same, with the thread/shard split already resolved — callers that record
+/// the split in an artifact (run_bench_preset) pass the exact value they
+/// recorded, so the artifact can never drift from what ran.
+std::vector<TrialResult> run_trials(const std::vector<TrialConfig>& trials,
+                                    const RunnerOptions& opt,
+                                    const ResolvedParallelism& par);
 
 }  // namespace dhc::runner

@@ -1,0 +1,46 @@
+// Statistics counters safe to bump from concurrently stepped protocol code.
+//
+// Sharded rounds (congest/network.h) step disjoint slices of the active set
+// in parallel, so protocol-level aggregate counters incremented inside
+// step() would race as plain integers.  ShardCounter makes the increment a
+// relaxed atomic fetch-add — sums are independent of execution order, so
+// every metric stays bitwise deterministic for any shard count — while
+// reading through the implicit conversion keeps call sites unchanged.
+// Reads are meant for code that runs between rounds (on_quiescence, result
+// extraction after Network::run); the pool barrier orders them after all
+// increments of the round.
+#pragma once
+
+#include <atomic>
+
+namespace dhc::support {
+
+template <typename T>
+class ShardCounter {
+ public:
+  ShardCounter(T init = 0) : v_(init) {}  // NOLINT: implicit by design
+
+  ShardCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  ShardCounter& operator+=(T delta) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Monotone maximum — max is commutative, so the result is order-free.
+  void update_max(T candidate) {
+    T seen = v_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !v_.compare_exchange_weak(seen, candidate, std::memory_order_relaxed)) {
+    }
+  }
+
+  operator T() const { return v_.load(std::memory_order_relaxed); }  // NOLINT
+
+ private:
+  std::atomic<T> v_;
+};
+
+}  // namespace dhc::support

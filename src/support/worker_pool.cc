@@ -1,0 +1,126 @@
+#include "support/worker_pool.h"
+
+#include <algorithm>
+
+namespace dhc::support {
+
+namespace {
+
+// Workers spin briefly before sleeping on the condition variable: the
+// simulator dispatches once per round, and a sleep/wake pair per round would
+// cost more than the round itself on sparse rounds.  The budget is small
+// enough that an idle pool (quiescent network, runner waiting on one slow
+// trial) still parks its threads promptly.
+constexpr int kSpinIterations = 1 << 14;
+
+}  // namespace
+
+WorkerPool::WorkerPool(unsigned workers) {
+  const unsigned lanes = std::max(1u, workers);
+  threads_.reserve(lanes - 1);
+  for (unsigned i = 0; i + 1 < lanes; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_.store(true, std::memory_order_relaxed);
+  }
+  start_cv_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+unsigned WorkerPool::hardware_lanes() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void WorkerPool::work_through(Generation& gen) {
+  for (std::size_t i = gen.next.fetch_add(1, std::memory_order_relaxed); i < gen.task_count;
+       i = gen.next.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      (*gen.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(gen.error_mu);
+      if (i < gen.first_error_index) {
+        gen.first_error_index = i;
+        gen.first_error = std::current_exception();
+      }
+    }
+    if (gen.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task of the generation: wake the caller.  Taking mu_ orders the
+      // notification against the caller's predicate check, so the wakeup
+      // cannot be lost.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    bool fresh = false;
+    for (int spin = 0; spin < kSpinIterations; ++spin) {
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      if (generation_id_.load(std::memory_order_acquire) != seen) {
+        fresh = true;
+        break;
+      }
+    }
+    std::shared_ptr<Generation> gen;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!fresh) {
+        start_cv_.wait(lock, [&] {
+          return shutdown_.load(std::memory_order_relaxed) ||
+                 generation_id_.load(std::memory_order_relaxed) != seen;
+        });
+      }
+      if (shutdown_.load(std::memory_order_relaxed)) return;
+      seen = generation_id_.load(std::memory_order_relaxed);
+      gen = current_;
+    }
+    if (gen) work_through(*gen);
+  }
+}
+
+void WorkerPool::run(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (threads_.empty()) {
+    // Degenerate pool: plain sequential execution in task order, exceptions
+    // propagating directly — identical semantics, zero synchronization.
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+
+  auto gen = std::make_shared<Generation>();
+  gen->fn = &fn;
+  gen->task_count = tasks;
+  gen->pending.store(tasks, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = gen;
+    generation_id_.fetch_add(1, std::memory_order_release);
+  }
+  start_cv_.notify_all();
+
+  // The caller is a worker too.
+  work_through(*gen);
+
+  if (gen->pending.load(std::memory_order_acquire) != 0) {
+    // Spin briefly for stragglers (typical shard imbalance is microseconds),
+    // then sleep until the last worker signals.
+    for (int spin = 0; spin < kSpinIterations; ++spin) {
+      if (gen->pending.load(std::memory_order_acquire) == 0) break;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&] { return gen->pending.load(std::memory_order_acquire) == 0; });
+  }
+
+  if (gen->first_error) std::rethrow_exception(gen->first_error);
+}
+
+}  // namespace dhc::support

@@ -5,17 +5,24 @@
 // send/wake-up schedules through the arena simulator and through a naive
 // reference delivery model (plain per-node queues, no arenas, no wheel) and
 // requires byte-identical inbox logs — delivery order, timing, and
-// round-skipping must match the definitionally-correct model.
+// round-skipping must match the definitionally-correct model.  Both suites
+// run at several shard counts (DESIGN.md §5): the sharded engine must match
+// the reference model byte for byte too, so the test protocols keep their
+// logs per node (self-indexed state, the discipline sharding requires) and
+// flatten them deterministically afterwards.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "congest/network.h"
 #include "graph/generators.h"
+#include "per_node_journal.h"
 
 namespace dhc::congest {
 namespace {
@@ -24,9 +31,12 @@ using graph::Graph;
 
 // Each active node relays a random subset of neighbors, one message per
 // neighbor per round (compliant by construction), for a bounded lifetime.
+// All tallies are per node (self-indexed — shard-safe) and reduced in node
+// order afterwards, so the combined observables are shard-invariant.
 class GossipProtocol : public Protocol {
  public:
-  explicit GossipProtocol(int max_generation) : max_generation_(max_generation) {}
+  GossipProtocol(graph::NodeId n, int max_generation)
+      : max_generation_(max_generation), received_(n, 0), sent_(n, 0), checksum_(n, 0) {}
 
   void begin(Context& ctx) override {
     if (ctx.self() % 7 == 0) {
@@ -35,10 +45,12 @@ class GossipProtocol : public Protocol {
   }
 
   void step(Context& ctx) override {
+    const graph::NodeId v = ctx.self();
     std::int64_t best_gen = -1;
     for (const Message& msg : ctx.inbox()) {
-      received_ += 1;
-      checksum_ = checksum_ * 1099511628211ULL + msg.from * 31 + static_cast<std::uint64_t>(msg.data[0]);
+      received_[v] += 1;
+      checksum_[v] = checksum_[v] * 1099511628211ULL + msg.from * 31 +
+                     static_cast<std::uint64_t>(msg.data[0]);
       best_gen = std::max(best_gen, msg.data[0]);
     }
     if (best_gen >= 0 && best_gen < max_generation_) {
@@ -46,34 +58,48 @@ class GossipProtocol : public Protocol {
     }
   }
 
-  std::uint64_t received() const { return received_; }
-  std::uint64_t sent() const { return sent_; }
-  std::uint64_t checksum() const { return checksum_; }
+  std::uint64_t received() const { return sum(received_); }
+  std::uint64_t sent() const { return sum(sent_); }
+  std::uint64_t checksum() const {
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const auto c : checksum_) h = h * 1099511628211ULL + c;
+    return h;
+  }
 
  private:
+  static std::uint64_t sum(const std::vector<std::uint64_t>& xs) {
+    std::uint64_t total = 0;
+    for (const auto x : xs) total += x;
+    return total;
+  }
+
   void send_wave(Context& ctx, std::int64_t generation) {
     for (const graph::NodeId w : ctx.neighbors()) {
       if (ctx.rng().bernoulli(0.5)) {
         ctx.send(w, Message::make(1, {generation}));
-        sent_ += 1;
+        sent_[ctx.self()] += 1;
       }
     }
   }
 
   int max_generation_;
-  std::uint64_t received_ = 0;
-  std::uint64_t sent_ = 0;
-  std::uint64_t checksum_ = 14695981039346656037ULL;
+  std::vector<std::uint64_t> received_;
+  std::vector<std::uint64_t> sent_;
+  std::vector<std::uint64_t> checksum_;
 };
 
 // All begin()-round messages are delivered in round 1 (none lost); helper
 // kept for clarity of the conservation equation.
 std::uint64_t count_begin_wave_losses() { return 0; }
 
-class GossipFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+// (seed, shard count): every suite below must be invariant in the second
+// coordinate.
+using FuzzParam = std::tuple<std::uint64_t, std::uint32_t>;
+
+class GossipFuzz : public ::testing::TestWithParam<FuzzParam> {};
 
 TEST_P(GossipFuzz, ConservesMessagesAndReplaysDeterministically) {
-  const std::uint64_t seed = GetParam();
+  const auto [seed, shards] = GetParam();
   support::Rng grng(seed);
   const Graph g = graph::gnp(120, 0.08, grng);
 
@@ -82,8 +108,13 @@ TEST_P(GossipFuzz, ConservesMessagesAndReplaysDeterministically) {
   for (int run = 0; run < 2; ++run) {
     NetworkConfig cfg;
     cfg.seed = seed * 13 + 1;
+    // First run sequential, second at the parametrized shard count: the
+    // equality assertions below therefore pin shard invariance, not just
+    // replay determinism.
+    cfg.shards = run == 0 ? 1 : shards;
+    cfg.shard_grain = 1;
     Network net(g, cfg);
-    GossipProtocol protocol(/*max_generation=*/6);
+    GossipProtocol protocol(g.n(), /*max_generation=*/6);
     const Metrics metrics = net.run(protocol);
     // Conservation: everything sent was delivered (and counted once).
     EXPECT_EQ(protocol.sent(), protocol.received() + count_begin_wave_losses());
@@ -101,7 +132,9 @@ TEST_P(GossipFuzz, ConservesMessagesAndReplaysDeterministically) {
   EXPECT_EQ(rounds[0], rounds[1]);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, GossipFuzz, ::testing::Range<std::uint64_t>(0, 12));
+INSTANTIATE_TEST_SUITE_P(Seeds, GossipFuzz,
+                         ::testing::Combine(::testing::Range<std::uint64_t>(0, 12),
+                                            ::testing::Values(1u, 4u)));
 
 // --- differential fuzz: Network vs a naive reference delivery model --------
 
@@ -140,25 +173,32 @@ Plan plan_for(std::uint64_t seed, graph::NodeId v, std::uint64_t round, std::siz
   return plan;
 }
 
-// Executes the plan through the real simulator, logging every delivered
-// message and every activation.
+// Executes the plan through the real simulator, journaling every delivered
+// message and every activation *per node* (self-indexed, so sharded rounds
+// never write across nodes); the full log is flattened afterwards in
+// (round, node) order — exactly the order the sequential stepper (and the
+// reference model) emits lines in.
 class ScriptedProtocol : public Protocol {
  public:
-  ScriptedProtocol(std::uint64_t seed, std::uint64_t horizon, std::ostringstream& log)
-      : seed_(seed), horizon_(horizon), log_(log) {}
+  ScriptedProtocol(graph::NodeId n, std::uint64_t seed, std::uint64_t horizon)
+      : seed_(seed), horizon_(horizon), journal_(n) {}
 
   void begin(Context& ctx) override {
     if (ctx.self() % 3 == 0) act(ctx);  // seeders; round() == 0 here
   }
 
   void step(Context& ctx) override {
-    log_ << "r" << ctx.round() << " v" << ctx.self() << ":";
+    std::ostringstream line;
+    line << "r" << ctx.round() << " v" << ctx.self() << ":";
     for (const Message& m : ctx.inbox()) {
-      log_ << " (" << m.from << "," << m.tag << "," << m.data[0] << ")";
+      line << " (" << m.from << "," << m.tag << "," << m.data[0] << ")";
     }
-    log_ << "\n";
+    journal_.append(ctx.self(), ctx.round(), line.str());
     act(ctx);
   }
+
+  /// Flattened journal in (round asc, node asc) order — the sequential log.
+  std::string log() const { return journal_.flatten(); }
 
  private:
   void act(Context& ctx) {
@@ -172,7 +212,7 @@ class ScriptedProtocol : public Protocol {
 
   std::uint64_t seed_;
   std::uint64_t horizon_;
-  std::ostringstream& log_;
+  testutil::PerNodeJournal journal_;
 };
 
 // The reference model: plain per-round maps and per-node vectors, written
@@ -238,30 +278,34 @@ std::string reference_run(const Graph& g, std::uint64_t seed, std::uint64_t hori
   return log.str();
 }
 
-class DeliveryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+class DeliveryFuzz : public ::testing::TestWithParam<FuzzParam> {};
 
 TEST_P(DeliveryFuzz, MatchesNaiveReferenceModel) {
-  const std::uint64_t seed = GetParam();
+  const auto [seed, shards] = GetParam();
   support::Rng grng(seed * 31 + 5);
   const Graph g = graph::gnp(60 + static_cast<graph::NodeId>(seed % 40), 0.12, grng);
   const std::uint64_t horizon = 30;
 
-  std::ostringstream real_log;
   NetworkConfig cfg;
   cfg.seed = seed;
+  cfg.shards = shards;
+  cfg.shard_grain = 1;  // shard even the sparse rounds of these small graphs
   Network net(g, cfg);
-  ScriptedProtocol protocol(seed, horizon, real_log);
+  ScriptedProtocol protocol(g.n(), seed, horizon);
   const Metrics metrics = net.run(protocol);
 
   std::uint64_t ref_rounds = 0;
   const std::string expected = reference_run(g, seed, horizon, &ref_rounds);
 
-  EXPECT_EQ(real_log.str(), expected)
-      << "arena delivery diverged from the reference model (seed " << seed << ")";
+  EXPECT_EQ(protocol.log(), expected)
+      << "arena delivery diverged from the reference model (seed " << seed << ", shards "
+      << shards << ")";
   EXPECT_EQ(metrics.rounds, ref_rounds);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DeliveryFuzz, ::testing::Range<std::uint64_t>(0, 10));
+INSTANTIATE_TEST_SUITE_P(Seeds, DeliveryFuzz,
+                         ::testing::Combine(::testing::Range<std::uint64_t>(0, 10),
+                                            ::testing::Values(1u, 2u, 4u, 8u)));
 
 }  // namespace
 }  // namespace dhc::congest

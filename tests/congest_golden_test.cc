@@ -89,8 +89,10 @@ class Fnv1a {
 
 // One observation line: every scalar metric in the clear (so diffs are
 // readable) plus a digest covering the per-node vectors, phase marks, and
-// the cycle itself.
-std::string observe(const GoldenCell& cell) {
+// the cycle itself.  `shards` is the simulator shard count (0 = the
+// DHC_SHARDS environment default, which is how the CI shard matrix gates
+// the pinned file against sharded execution).
+std::string observe(const GoldenCell& cell, std::uint32_t shards = 0) {
   runner::TrialConfig tc;
   tc.algo = cell.algo;
   tc.family = runner::GraphFamily::kGnp;
@@ -116,24 +118,37 @@ std::string observe(const GoldenCell& cell) {
 
   core::Result r;
   switch (cell.algo) {
-    case runner::Algorithm::kDra:
-      r = core::run_dra(g, tc.algo_seed);
+    case runner::Algorithm::kDra: {
+      core::DraConfig cfg;
+      cfg.shards = shards;
+      r = core::run_dra(g, tc.algo_seed, cfg);
       break;
-    case runner::Algorithm::kDhc1:
-      r = core::run_dhc1(g, tc.algo_seed);
+    }
+    case runner::Algorithm::kDhc1: {
+      core::Dhc1Config cfg;
+      cfg.shards = shards;
+      r = core::run_dhc1(g, tc.algo_seed, cfg);
       break;
+    }
     case runner::Algorithm::kDhc2: {
       core::Dhc2Config cfg;
       cfg.delta = cell.delta;
+      cfg.shards = shards;
       r = core::run_dhc2(g, tc.algo_seed, cfg);
       break;
     }
-    case runner::Algorithm::kUpcast:
-      r = core::run_upcast(g, tc.algo_seed, {});
+    case runner::Algorithm::kUpcast: {
+      core::UpcastConfig cfg;
+      cfg.shards = shards;
+      r = core::run_upcast(g, tc.algo_seed, cfg);
       break;
-    case runner::Algorithm::kTurau:
-      r = core::run_turau(g, tc.algo_seed);
+    }
+    case runner::Algorithm::kTurau: {
+      core::TurauConfig cfg;
+      cfg.shards = shards;
+      r = core::run_turau(g, tc.algo_seed, cfg);
       break;
+    }
     default:
       ADD_FAILURE() << "unsupported golden algorithm";
   }
@@ -213,6 +228,33 @@ TEST(CongestGolden, MatchesPinnedObservations) {
       << "golden grid changed shape; regenerate deliberately";
   for (std::size_t i = 0; i < lines.size(); ++i) {
     EXPECT_EQ(expected[i], lines[i]) << "golden row " << i << " diverged";
+  }
+}
+
+// Shard invariance over the pinned grid: every solver, every regime, run at
+// shards ∈ {2, 4, 8} with grain 1 (so even the 48-node cells actually shard)
+// must reproduce the shards=1 observation line byte for byte — metrics,
+// digests, stats, cycles, everything.
+TEST(CongestGolden, ShardInvarianceAcrossTheGrid) {
+  // Grain 1 via the environment (the config structs deliberately expose only
+  // the shard count; the grain is a performance knob).
+  const char* old_grain = std::getenv("DHC_SHARD_GRAIN");
+  setenv("DHC_SHARD_GRAIN", "1", /*overwrite=*/1);
+
+  const auto grid = golden_grid();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& cell = grid[i];
+    const std::string base = observe(cell, /*shards=*/1);
+    for (const std::uint32_t shards : {2u, 4u, 8u}) {
+      EXPECT_EQ(observe(cell, shards), base)
+          << "golden cell " << i << " diverged at shards=" << shards;
+    }
+  }
+
+  if (old_grain == nullptr) {
+    unsetenv("DHC_SHARD_GRAIN");
+  } else {
+    setenv("DHC_SHARD_GRAIN", old_grain, 1);
   }
 }
 

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <vector>
+
 #include "graph/generators.h"
 
 namespace dhc::kmachine {
@@ -74,6 +77,83 @@ TEST(KMachineCost, RoundsAccumulateAcrossCongestRounds) {
 TEST(KMachineCost, RejectsDegenerateParameters) {
   EXPECT_THROW(KMachineCost(10, 1, 1, 1), std::invalid_argument);
   EXPECT_THROW(KMachineCost(10, 2, 0, 1), std::invalid_argument);
+}
+
+// The k-machine conversion consumes the simulator's merged event log on
+// sharded rounds (on_events) and the live on_send feed on sequential ones.
+// Both feeds must price the execution identically: converted rounds, the
+// cross/local split, and the busiest-link peak all depend on per-round link
+// load *sequences*, so this pin fails if the merged log ever reorders or
+// drops an event relative to sequential send order.
+TEST(ConvertDhc2, LiveAndMergedEventLogPricingIdentical) {
+  struct Priced {
+    bool success;
+    std::uint64_t congest_rounds;
+    std::uint64_t kmachine_rounds;
+    std::uint64_t cross_messages;
+    std::uint64_t local_messages;
+    std::uint64_t busiest_link_total;
+  };
+  support::Rng rng(21);
+  const auto g = graph::gnp(256, graph::edge_probability(256, 2.5, 0.5), rng);
+
+  const char* old_grain = std::getenv("DHC_SHARD_GRAIN");
+  setenv("DHC_SHARD_GRAIN", "1", 1);  // shard even sparse rounds
+  const auto price = [&](std::uint32_t shards) -> Priced {
+    KMachineCost cost(g.n(), /*k=*/8, /*bandwidth=*/4, /*seed=*/17);
+    core::Dhc2Config cfg;
+    cfg.delta = 0.5;
+    cfg.observer = &cost;
+    cfg.shards = shards;
+    const core::Result r = core::run_dhc2(g, /*seed=*/17, cfg);
+    return {r.success,          r.metrics.rounds,      cost.kmachine_rounds(),
+            cost.cross_messages(), cost.local_messages(), cost.busiest_link_total()};
+  };
+
+  const Priced live = price(/*shards=*/1);
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    const Priced merged = price(shards);
+    EXPECT_EQ(merged.success, live.success) << "shards=" << shards;
+    EXPECT_EQ(merged.congest_rounds, live.congest_rounds) << "shards=" << shards;
+    EXPECT_EQ(merged.kmachine_rounds, live.kmachine_rounds) << "shards=" << shards;
+    EXPECT_EQ(merged.cross_messages, live.cross_messages) << "shards=" << shards;
+    EXPECT_EQ(merged.local_messages, live.local_messages) << "shards=" << shards;
+    EXPECT_EQ(merged.busiest_link_total, live.busiest_link_total) << "shards=" << shards;
+  }
+  if (old_grain == nullptr) {
+    unsetenv("DHC_SHARD_GRAIN");
+  } else {
+    setenv("DHC_SHARD_GRAIN", old_grain, 1);
+  }
+}
+
+TEST(KMachineCost, BatchEventsMatchSingleSends) {
+  // Unit-level pin of on_events == repeated on_send on a hand-built stream.
+  KMachineCost a(32, 4, 2, 9);
+  KMachineCost b(32, 4, 2, 9);
+  std::vector<congest::SendEvent> events;
+  support::Rng rng(33);
+  std::uint64_t round = 1;
+  for (int i = 0; i < 500; ++i) {
+    if (rng.bernoulli(0.2)) round += 1 + rng.below(3);
+    const auto from = static_cast<NodeId>(rng.below(32));
+    auto to = static_cast<NodeId>(rng.below(32));
+    if (to == from) to = (to + 1) % 32;
+    events.push_back({from, to, round});
+  }
+  for (const auto& e : events) a.on_send(e.from, e.to, e.round);
+  // Deliver to b in per-round batches (as the merged shard logs would).
+  std::size_t i = 0;
+  while (i < events.size()) {
+    std::size_t j = i;
+    while (j < events.size() && events[j].round == events[i].round) ++j;
+    b.on_events({events.data() + i, j - i});
+    i = j;
+  }
+  EXPECT_EQ(a.kmachine_rounds(), b.kmachine_rounds());
+  EXPECT_EQ(a.cross_messages(), b.cross_messages());
+  EXPECT_EQ(a.local_messages(), b.local_messages());
+  EXPECT_EQ(a.busiest_link_total(), b.busiest_link_total());
 }
 
 TEST(ConvertDhc2, EndToEndAndMoreMachinesHelp) {

@@ -6,9 +6,13 @@
 #include <sstream>
 #include <vector>
 
+#include <algorithm>
+
+#include "congest/network.h"
 #include "runner/aggregator.h"
 #include "runner/scenario.h"
 #include "runner/trial_runner.h"
+#include "support/worker_pool.h"
 
 namespace dhc::runner {
 namespace {
@@ -125,6 +129,73 @@ TEST(TrialRunner, KMachinePricingRunsAndScalesWithMachines) {
     EXPECT_TRUE(sum.stat_means.contains("kmachine_rounds"));
     EXPECT_TRUE(sum.stat_means.contains("congest_rounds"));
   }
+}
+
+TEST(TrialRunner, ResultsAreShardCountInvariant) {
+  Scenario s;
+  s.algos = {Algorithm::kDhc2, Algorithm::kTurau};
+  s.sizes = {64};
+  s.deltas = {0.5};
+  s.cs = {4.0};
+  s.seeds = 3;
+  s.base_seed = 19;
+  const auto trials = expand(s);
+
+  const auto sequential = run_trials(trials, {.threads = 1, .shards = 1});
+  const auto sharded = run_trials(trials, {.threads = 1, .shards = 4});
+  expect_same_results(sequential, sharded);
+  EXPECT_EQ(json_of(s, trials, sequential), json_of(s, trials, sharded));
+}
+
+TEST(ResolveParallelism, ClampsThreadsToHardwareBeforeTrialCountMin) {
+  const unsigned hw = support::WorkerPool::hardware_lanes();
+  RunnerOptions opt;
+  opt.threads = hw * 64;  // absurd request
+  const auto par = resolve_parallelism(/*trial_count=*/1000, opt);
+  EXPECT_LE(par.threads, hw);  // hardware clamp applied first
+  // Many trials: trial-parallelism wins (a DHC_SHARDS environment default,
+  // as in the CI shard matrix, is honored like an explicit flag).
+  EXPECT_EQ(par.shards, congest::default_shards());
+}
+
+TEST(ResolveParallelism, HonorsExplicitShardsAndClampsTrialThreads) {
+  RunnerOptions opt;
+  opt.threads = 1;
+  opt.shards = 8;  // explicit: the partition count is a determinism knob
+  const auto par = resolve_parallelism(/*trial_count=*/10, opt);
+  EXPECT_EQ(par.shards, 8u);
+  EXPECT_EQ(par.threads, 1u);  // budget 1: no concurrent trials
+}
+
+TEST(ResolveParallelism, AutoPrefersTrialParallelismForManySmallTrials) {
+  RunnerOptions opt;
+  opt.threads = 0;  // whole machine
+  const unsigned hw = support::WorkerPool::hardware_lanes();
+  const auto par = resolve_parallelism(/*trial_count=*/hw * 4, opt);
+  EXPECT_EQ(par.shards, congest::default_shards());  // 1 without DHC_SHARDS
+  EXPECT_EQ(par.threads, hw);
+}
+
+TEST(ResolveParallelism, AutoShardsWhenTrialsCannotFillTheBudget) {
+  // Simulate an 8-lane budget with 2 huge trials on any machine: the split
+  // must keep threads × shards within min(8, hardware).
+  RunnerOptions opt;
+  opt.threads = 8;
+  const unsigned hw = support::WorkerPool::hardware_lanes();
+  const unsigned budget = std::min(8u, hw);
+  const auto par = resolve_parallelism(/*trial_count=*/2, opt);
+  if (congest::default_shards() == 1) {
+    EXPECT_EQ(par.shards, std::max(1u, budget / 2));
+  }
+  EXPECT_LE(static_cast<unsigned>(par.threads) * std::min<unsigned>(par.shards, budget),
+            budget * 2);  // never oversubscribes beyond the lanes-per-trial clamp
+  EXPECT_LE(par.threads, 2u);
+}
+
+TEST(ResolveParallelism, NeverReturnsZero) {
+  const auto par = resolve_parallelism(0, RunnerOptions{.threads = 0, .shards = 0});
+  EXPECT_GE(par.threads, 1u);
+  EXPECT_GE(par.shards, 1u);
 }
 
 }  // namespace

@@ -21,7 +21,12 @@
 //   --bandwidth=N     per-link messages/round for dhc2-kmachine
 //   --seeds=N         trials per configuration cell
 //   --seed=N          root seed
-//   --threads=N       worker threads (0 = hardware concurrency; default 1)
+//   --threads=N       worker-thread budget shared by trial- and
+//                     shard-parallelism (0 = hardware concurrency; default 1;
+//                     always clamped to the hardware)
+//   --shards=N        simulator shards per trial (0 = auto: many small trials
+//                     run trial-parallel, few huge trials get the leftover
+//                     budget as shards; results are identical either way)
 //   --json=PATH       JSON artifact path ("" disables; default dhc_run.json)
 //   --csv=PATH        CSV artifact path (default: none)
 //   --verify=BOOL     check returned cycles against the graph (default true)
@@ -47,6 +52,17 @@
 
 namespace {
 
+// Shared flag validation: negative or absurd values are rejected with exit
+// code 2 (the env path, congest::default_shards(), applies the same bounds).
+unsigned checked_unsigned(const dhc::support::Cli& cli, const char* flag, long max_value) {
+  const long raw = cli.get_int(flag, 0);
+  if (raw < 0 || raw > max_value) {
+    throw std::invalid_argument(std::string("flag --") + flag + " must be in [0, " +
+                                std::to_string(max_value) + "], got " + std::to_string(raw));
+  }
+  return static_cast<unsigned>(raw);
+}
+
 void write_artifact(const std::string& path, const std::string& what,
                     const std::function<void(std::ostream&)>& emit) {
   std::ofstream out(path);
@@ -58,8 +74,9 @@ void write_artifact(const std::string& path, const std::string& what,
 int run_bench_mode(const dhc::support::Cli& cli) {
   using namespace dhc;
   runner::RunnerOptions opt;
-  opt.threads = static_cast<unsigned>(cli.get_int("threads", 1));
+  opt.threads = cli.has("threads") ? checked_unsigned(cli, "threads", 1 << 20) : 1;
   opt.verify = cli.get_bool("verify", true);
+  opt.shards = checked_unsigned(cli, "shards", 1 << 20);
 
   std::vector<const runner::BenchPreset*> selected;
   // A bare `--bench` is stored by Cli as "true"; treat it like "all".
@@ -86,7 +103,8 @@ int run_bench_mode(const dhc::support::Cli& cli) {
     std::cout << "bench '" << p->name << "': " << p->description << "\n";
     measurements.push_back(runner::run_bench_preset(*p, opt));
     const auto& m = measurements.back();
-    std::cout << "  " << m.trials << " trials (" << m.successes << " ok) in " << m.wall_seconds
+    std::cout << "  " << m.trials << " trials (" << m.successes << " ok, " << m.threads
+              << " thread(s) x " << m.shards << " shard(s)) in " << m.wall_seconds
               << " s — " << m.trials_per_sec << " trials/s, " << m.messages_per_sec
               << " msgs/s, peak RSS " << m.peak_rss_kb << " kB\n";
   }
@@ -94,7 +112,7 @@ int run_bench_mode(const dhc::support::Cli& cli) {
   const std::string path = cli.get_string("bench-json", "BENCH_congest.json");
   if (!path.empty()) {
     write_artifact(path, "BENCH", [&](std::ostream& os) {
-      runner::write_bench_json(os, measurements, opt.threads);
+      runner::write_bench_json(os, measurements, opt.threads, opt.shards);
     });
   }
   return EXIT_SUCCESS;
@@ -120,14 +138,15 @@ int main(int argc, char** argv) {
     }
     const runner::Scenario scenario = runner::scenario_from_cli(cli);
     runner::RunnerOptions opt;
-    opt.threads = static_cast<unsigned>(cli.get_int("threads", 1));
+    opt.threads = cli.has("threads") ? checked_unsigned(cli, "threads", 1 << 20) : 1;
     opt.verify = cli.get_bool("verify", true);
+    opt.shards = checked_unsigned(cli, "shards", 1 << 20);
 
     const auto trials = runner::expand(scenario);
+    const auto par = runner::resolve_parallelism(trials.size(), opt);
     std::cout << "scenario '" << scenario.name << "': " << trials.size() << " trials over "
               << (trials.empty() ? 0 : trials.back().config_index + 1) << " configurations, "
-              << (opt.threads == 0 ? std::string("hardware") : std::to_string(opt.threads))
-              << " threads\n\n";
+              << par.threads << " thread(s) x " << par.shards << " shard(s)\n\n";
 
     const auto start = std::chrono::steady_clock::now();
     const auto results = runner::run_trials(trials, opt);
