@@ -694,6 +694,7 @@ Result run_dhc1(const graph::Graph& g, std::uint64_t seed, const Dhc1Config& cfg
 
   congest::NetworkConfig net_cfg;
   net_cfg.seed = seed;
+  net_cfg.observer = cfg.observer;
   net_cfg.shards = cfg.shards;
   congest::Network net(g, net_cfg);
   Dhc1Protocol protocol(n, num_colors, cfg);

@@ -52,6 +52,10 @@ struct Dhc1Config {
 
   DraConfig dra;
 
+  /// Optional message tap for alternative cost models (k-machine, §IV; not
+  /// owned, must outlive the run).
+  congest::MessageObserver* observer = nullptr;
+
   /// Simulator shard count for intra-trial parallelism (0 = the DHC_SHARDS
   /// environment default; results are bitwise identical for every value —
   /// see congest::NetworkConfig::shards).

@@ -348,6 +348,7 @@ Result run_dra(const graph::Graph& g, std::uint64_t seed, const DraConfig& cfg) 
   }
   congest::NetworkConfig net_cfg;
   net_cfg.seed = seed;
+  net_cfg.observer = cfg.observer;
   net_cfg.shards = cfg.shards;
   congest::Network net(g, net_cfg);
   StandaloneDraProtocol protocol(g.n(), cfg);

@@ -56,6 +56,10 @@ struct DraConfig {
   /// probability O(1/n^α)" knob of Theorem 2, realized as restarts.
   std::uint32_t max_attempts = 8;
 
+  /// Optional message tap for alternative cost models (k-machine, §IV; not
+  /// owned, must outlive the run).
+  congest::MessageObserver* observer = nullptr;
+
   /// Simulator shard count for intra-trial parallelism (0 = the DHC_SHARDS
   /// environment default; results are bitwise identical for every value —
   /// see congest::NetworkConfig::shards).

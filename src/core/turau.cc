@@ -459,6 +459,7 @@ Result run_turau(const graph::Graph& g, std::uint64_t seed, const TurauConfig& c
   }
   congest::NetworkConfig net_cfg;
   net_cfg.seed = seed;
+  net_cfg.observer = cfg.observer;
   net_cfg.shards = cfg.shards;
   congest::Network net(g, net_cfg);
   TurauProtocol protocol(g.n(), seed, cfg);

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 
+#include "congest/network.h"
 #include "core/result.h"
 #include "graph/graph.h"
 
@@ -48,6 +49,10 @@ struct TurauConfig {
   /// Rotations attempted while closing the final Hamiltonian path before
   /// giving up (each succeeds with probability ≈ p).
   std::uint32_t max_close_attempts = 64;
+
+  /// Optional message tap for alternative cost models (k-machine, §IV; not
+  /// owned, must outlive the run).
+  congest::MessageObserver* observer = nullptr;
 
   /// Simulator shard count for intra-trial parallelism (0 = the DHC_SHARDS
   /// environment default; results are bitwise identical for every value —

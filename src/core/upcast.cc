@@ -278,6 +278,7 @@ Result run_upcast(const graph::Graph& g, std::uint64_t seed, const UpcastConfig&
   }
   congest::NetworkConfig net_cfg;
   net_cfg.seed = seed;
+  net_cfg.observer = cfg.observer;
   net_cfg.shards = cfg.shards;
   congest::Network net(g, net_cfg);
   UpcastProtocol protocol(g.n(), cfg);

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "congest/network.h"
 #include "core/result.h"
 #include "core/sequential.h"
 #include "graph/graph.h"
@@ -36,6 +37,10 @@ struct UpcastConfig {
 
   /// Root's local solver budget.
   RotationConfig root_solver;
+
+  /// Optional message tap for alternative cost models (k-machine, §IV; not
+  /// owned, must outlive the run).
+  congest::MessageObserver* observer = nullptr;
 
   /// Simulator shard count for intra-trial parallelism (0 = the DHC_SHARDS
   /// environment default; results are bitwise identical for every value —

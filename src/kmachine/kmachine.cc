@@ -1,6 +1,7 @@
 #include "kmachine/kmachine.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "support/require.h"
 
@@ -19,7 +20,7 @@ KMachineCost::KMachineCost(NodeId n, std::uint32_t k, std::uint64_t bandwidth, s
   }
 }
 
-void KMachineCost::flush_round() const {
+void KMachineCost::flush_round() {
   std::uint64_t busiest = 0;
   for (const auto link : touched_links_) {
     busiest = std::max(busiest, round_load_[link]);
@@ -57,30 +58,101 @@ void KMachineCost::record(NodeId from, NodeId to, std::uint64_t round) {
   const std::uint32_t link = std::min(a, b) * k_ + std::max(a, b);
   const std::uint64_t load = ++round_load_[link];
   if (load == 1) touched_links_.push_back(link);
-  busiest_link_total_ = std::max(busiest_link_total_, load);
+  busiest_link_peak_ = std::max(busiest_link_peak_, load);
 }
 
 std::uint64_t KMachineCost::kmachine_rounds() const {
-  flush_round();
-  return rounds_accum_;
+  // Price the in-progress round from a read-only scan.  The old
+  // implementation flushed here — zeroing round_load_/touched_links_ for a
+  // round that could still receive sends, which split that round's link
+  // loads into separately-ceiled fragments and corrupted the total for any
+  // mid-run reader.
+  std::uint64_t busiest = 0;
+  for (const auto link : touched_links_) busiest = std::max(busiest, round_load_[link]);
+  return rounds_accum_ + (busiest > 0 ? (busiest + bandwidth_ - 1) / bandwidth_ : 0);
+}
+
+namespace {
+
+/// Shared shape of every adapter: copy the base config, let the backend
+/// control the observer and shard knobs, call the solver's entry point.
+template <class Config, class RunFn>
+CongestAlgorithm make_adapter(Config base, RunFn run) {
+  return [base = std::move(base), run](const graph::Graph& g, std::uint64_t seed,
+                                       congest::MessageObserver* observer,
+                                       std::uint32_t shards) {
+    Config cfg = base;
+    cfg.observer = observer;
+    cfg.shards = shards;
+    return run(g, seed, cfg);
+  };
+}
+
+}  // namespace
+
+CongestAlgorithm dra_algorithm(core::DraConfig base) {
+  return make_adapter(std::move(base), core::run_dra);
+}
+
+CongestAlgorithm dhc1_algorithm(core::Dhc1Config base) {
+  return make_adapter(std::move(base), core::run_dhc1);
+}
+
+CongestAlgorithm dhc2_algorithm(core::Dhc2Config base) {
+  return make_adapter(std::move(base), core::run_dhc2);
+}
+
+CongestAlgorithm turau_algorithm(core::TurauConfig base) {
+  return make_adapter(std::move(base), core::run_turau);
+}
+
+CongestAlgorithm upcast_algorithm(core::UpcastConfig base) {
+  return make_adapter(std::move(base), core::run_upcast);
+}
+
+CongestAlgorithm algorithm_by_name(const std::string& name) {
+  if (name == "dra") return dra_algorithm();
+  if (name == "dhc1") return dhc1_algorithm();
+  if (name == "dhc2") return dhc2_algorithm();
+  if (name == "turau") return turau_algorithm();
+  if (name == "upcast") return upcast_algorithm();
+  if (name == "collect-all" || name == "collectall") {
+    core::UpcastConfig cfg;
+    cfg.collect_all = true;
+    return upcast_algorithm(cfg);
+  }
+  throw std::invalid_argument("k-machine backend knows no algorithm '" + name +
+                              "' (expected dra|dhc1|dhc2|turau|upcast|collect-all)");
+}
+
+KMachineOutcome run_kmachine(const CongestAlgorithm& algo, const graph::Graph& g,
+                             std::uint64_t seed, const KMachineConfig& cfg) {
+  DHC_REQUIRE(algo != nullptr, "run_kmachine needs an algorithm");
+  const std::uint64_t partition_seed = cfg.partition_seed != 0 ? cfg.partition_seed : seed;
+  KMachineCost cost(g.n(), cfg.k, cfg.bandwidth, partition_seed);
+
+  KMachineOutcome out;
+  out.result = algo(g, seed, &cost, cfg.shards);
+
+  out.report.k = cfg.k;
+  out.report.bandwidth = cfg.bandwidth;
+  out.report.success = out.result.success;
+  out.report.congest_rounds = out.result.metrics.rounds;
+  out.report.kmachine_rounds = cost.kmachine_rounds();
+  out.report.cross_messages = cost.cross_messages();
+  out.report.local_messages = cost.local_messages();
+  out.report.busiest_link_peak = cost.busiest_link_peak();
+  return out;
 }
 
 KMachineReport convert_dhc2(const graph::Graph& g, std::uint64_t seed, std::uint32_t k,
                             std::uint64_t bandwidth, const core::Dhc2Config& base) {
-  KMachineCost cost(g.n(), k, bandwidth, seed);
-  core::Dhc2Config cfg = base;
-  cfg.observer = &cost;
-  const core::Result r = core::run_dhc2(g, seed, cfg);
-
-  KMachineReport report;
-  report.k = k;
-  report.bandwidth = bandwidth;
-  report.success = r.success;
-  report.congest_rounds = r.metrics.rounds;
-  report.kmachine_rounds = cost.kmachine_rounds();
-  report.cross_messages = cost.cross_messages();
-  report.local_messages = cost.local_messages();
-  return report;
+  KMachineConfig cfg;
+  cfg.k = k;
+  cfg.bandwidth = bandwidth;
+  cfg.partition_seed = seed;
+  cfg.shards = base.shards;
+  return run_kmachine(dhc2_algorithm(base), g, seed, cfg).report;
 }
 
 }  // namespace dhc::kmachine

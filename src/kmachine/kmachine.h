@@ -1,5 +1,5 @@
-// The k-machine model conversion (paper §IV; Klauck–Nanongkai–Pandurangan–
-// Robinson [16]).
+// The k-machine model as an execution backend (paper §IV; Klauck–Nanongkai–
+// Pandurangan–Robinson [16]).
 //
 // In the k-machine model, k machines form a complete network; the n graph
 // nodes are assigned to machines by a random vertex partition, and each of
@@ -9,20 +9,38 @@
 // machine link; a CONGEST round whose busiest link carries L messages costs
 // ⌈L / bandwidth⌉ k-machine rounds.
 //
-// KMachineCost implements that pricing as a congest::MessageObserver: hang
-// it off any protocol run and read the converted round count afterwards.
-// convert_dhc2() packages the paper's claim — "our fully-distributed
-// algorithms can be used to obtain efficient algorithms in the k-machine
-// model" — as a runnable experiment (EXP-K1): more machines means more
-// parallel links, so converted rounds fall as k grows.
+// Two layers implement that conversion:
+//
+//   * KMachineCost — the pricing observer.  Hang it off any protocol run
+//     (congest::NetworkConfig::observer) and read the converted round count
+//     at any time, including mid-run: pricing is a pure read of the current
+//     state, never a mutation (see kmachine_rounds()).
+//   * run_kmachine() — the backend.  It takes *any* registered CONGEST
+//     algorithm as a CongestAlgorithm adapter (dra, dhc1, dhc2, turau,
+//     upcast — or your own lambda), attaches the pricing observer, runs the
+//     algorithm, and returns both the underlying core::Result (cycle
+//     included, so callers can verify) and the full KMachineReport.
+//
+// convert_dhc2() remains as the DHC2 shorthand the original EXP-K1 used; it
+// is now a thin wrapper over the backend.  The paper's claim — "our fully-
+// distributed algorithms can be used to obtain efficient algorithms in the
+// k-machine model" — is runnable for every algorithm: more machines means
+// more parallel links, so converted rounds fall as k grows.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "congest/network.h"
+#include "core/dhc1.h"
 #include "core/dhc2.h"
+#include "core/dra.h"
+#include "core/result.h"
+#include "core/turau.h"
+#include "core/upcast.h"
 #include "graph/graph.h"
 #include "support/rng.h"
 
@@ -53,16 +71,23 @@ class KMachineCost : public congest::MessageObserver {
   /// Which machine hosts node v.
   std::uint32_t machine_of(NodeId v) const { return machine_of_[v]; }
 
-  /// Converted k-machine rounds so far (call after the run completes).
+  /// Converted k-machine rounds so far, including the ⌈L/bandwidth⌉ charge
+  /// of the CONGEST round currently in progress.  Idempotent and safe to
+  /// call mid-run: the price is computed from a read-only snapshot of the
+  /// in-progress round's link loads — nothing is flushed or zeroed, so a
+  /// mid-round read (or a second read) can never split a round's charge.
   std::uint64_t kmachine_rounds() const;
 
   std::uint64_t cross_messages() const { return cross_messages_; }
   std::uint64_t local_messages() const { return local_messages_; }
-  std::uint64_t busiest_link_total() const { return busiest_link_total_; }
+  /// Peak single-round load (messages) of the busiest machine link — the
+  /// largest ⌈L/bandwidth⌉ numerator any one round charged.  A peak, not a
+  /// total.
+  std::uint64_t busiest_link_peak() const { return busiest_link_peak_; }
 
  private:
   void record(NodeId from, NodeId to, std::uint64_t round);
-  void flush_round() const;
+  void flush_round();
 
   std::uint32_t k_;
   std::uint64_t bandwidth_;
@@ -71,15 +96,16 @@ class KMachineCost : public congest::MessageObserver {
   // Current-round link loads in a flat k×k table indexed a·k + b (a < b),
   // with the touched cells listed for O(links-used) flushing — on_send runs
   // once per simulated message, so it must not pay a hashed container.
-  mutable std::vector<std::uint64_t> round_load_;
-  mutable std::vector<std::uint32_t> touched_links_;
-  mutable std::uint64_t current_round_ = 0;
-  mutable std::uint64_t rounds_accum_ = 0;
+  std::vector<std::uint64_t> round_load_;
+  std::vector<std::uint32_t> touched_links_;
+  std::uint64_t current_round_ = 0;
+  std::uint64_t rounds_accum_ = 0;
   std::uint64_t cross_messages_ = 0;
   std::uint64_t local_messages_ = 0;
-  std::uint64_t busiest_link_total_ = 0;
+  std::uint64_t busiest_link_peak_ = 0;
 };
 
+/// What one k-machine execution cost.
 struct KMachineReport {
   std::uint32_t k = 0;
   std::uint64_t bandwidth = 0;
@@ -88,10 +114,64 @@ struct KMachineReport {
   std::uint64_t kmachine_rounds = 0;
   std::uint64_t cross_messages = 0;
   std::uint64_t local_messages = 0;
+  /// Peak single-round load of the busiest machine link (messages).
+  std::uint64_t busiest_link_peak = 0;
 };
 
+/// An algorithm the backend can drive: run a CONGEST protocol over `g` from
+/// `seed` with `observer` attached and `shards` simulator shards (0 = the
+/// DHC_SHARDS environment default; bitwise-neutral), returning the solver's
+/// Result.  The adapters below wrap the registered algorithms; any lambda
+/// with this shape works too.
+using CongestAlgorithm = std::function<core::Result(
+    const graph::Graph& g, std::uint64_t seed, congest::MessageObserver* observer,
+    std::uint32_t shards)>;
+
+/// Adapters for the registered CONGEST algorithms.  Each captures a base
+/// config and forwards the backend-controlled knobs (observer, shards).
+CongestAlgorithm dra_algorithm(core::DraConfig base = {});
+CongestAlgorithm dhc1_algorithm(core::Dhc1Config base = {});
+CongestAlgorithm dhc2_algorithm(core::Dhc2Config base = {});
+CongestAlgorithm turau_algorithm(core::TurauConfig base = {});
+CongestAlgorithm upcast_algorithm(core::UpcastConfig base = {});
+
+/// Adapter by runner-facing name: dra | dhc1 | dhc2 | turau | upcast |
+/// collect-all (default configs).  Throws std::invalid_argument otherwise.
+CongestAlgorithm algorithm_by_name(const std::string& name);
+
+struct KMachineConfig {
+  /// Number of machines (≥ 2).
+  std::uint32_t k = 8;
+  /// Per-link bandwidth, messages per k-machine round (≥ 1).
+  std::uint64_t bandwidth = 32;
+  /// Seed of the random vertex partition; 0 means "use the algorithm seed"
+  /// (the convention of convert_dhc2 and the runner).
+  std::uint64_t partition_seed = 0;
+  /// Simulator shards for the underlying CONGEST run (0 = the DHC_SHARDS
+  /// environment default).  Bitwise-neutral: the merged event log reproduces
+  /// the sequential send order, so the price is shard-invariant (pinned by
+  /// kmachine_test).
+  std::uint32_t shards = 0;
+};
+
+/// The backend's full answer: the conversion pricing plus the underlying
+/// CONGEST run (cycle included, so callers can verify the output and reuse
+/// every solver stat).
+struct KMachineOutcome {
+  KMachineReport report;
+  core::Result result;
+};
+
+/// Runs `algo` on `g` with the k-machine pricing observer attached and
+/// returns the priced outcome.  The direct-simulation conversion of §IV:
+/// one KMachineCost partition per call, every message either free (local)
+/// or charged to its machine link.
+KMachineOutcome run_kmachine(const CongestAlgorithm& algo, const graph::Graph& g,
+                             std::uint64_t seed, const KMachineConfig& cfg);
+
 /// Runs DHC2 on `g` and prices the execution on k machines with the given
-/// per-link bandwidth (messages/round).  EXP-K1's workhorse.
+/// per-link bandwidth (messages/round).  The original EXP-K1 entry point,
+/// now a thin wrapper over run_kmachine().
 KMachineReport convert_dhc2(const graph::Graph& g, std::uint64_t seed, std::uint32_t k,
                             std::uint64_t bandwidth, const core::Dhc2Config& base = {});
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 #include <ostream>
+#include <set>
 
 #include "support/require.h"
 #include "support/stats.h"
@@ -132,11 +133,11 @@ std::vector<ConfigSummary> aggregate(const std::vector<TrialConfig>& trials,
 }
 
 support::Table summary_table(const std::vector<ConfigSummary>& summaries) {
-  support::Table table({"algo", "family", "n", "delta", "c", "merge", "k", "success",
+  support::Table table({"algo", "model", "family", "n", "delta", "c", "merge", "k", "success",
                         "med rounds", "p95 rounds", "med msgs", "med mem"});
   for (const auto& s : summaries) {
     const auto& c = s.config;
-    table.add_row({to_string(c.algo), to_string(c.family),
+    table.add_row({to_string(c.algo), to_string(c.model), to_string(c.family),
                    support::Table::num(static_cast<std::uint64_t>(c.n)),
                    support::Table::num(c.delta, 2), support::Table::num(c.c, 2),
                    to_string(c.merge),
@@ -158,6 +159,7 @@ void write_json(std::ostream& os, const std::string& scenario_name,
     const auto& c = s.config;
     os << (i == 0 ? "" : ",") << "\n    {\n";
     os << "      \"algo\": \"" << to_string(c.algo) << "\",\n";
+    os << "      \"model\": \"" << to_string(c.model) << "\",\n";
     os << "      \"family\": \"" << to_string(c.family) << "\",\n";
     os << "      \"n\": " << c.n << ",\n";
     os << "      \"delta\": " << fmt_num(c.delta) << ",\n";
@@ -188,19 +190,38 @@ void write_json(std::ostream& os, const std::string& scenario_name,
 }
 
 void write_csv(std::ostream& os, const std::vector<ConfigSummary>& summaries) {
-  os << "algo,family,n,delta,c,merge,machines,bandwidth,trials,successes,success_rate,"
+  // Fixed columns first, then one `stat_<key>` column per stat-mean key seen
+  // in *any* summary (sorted union, so the header is deterministic and every
+  // model-specific stat — kmachine_rounds, busiest_link_peak, ... — is
+  // exported).  Cells without that stat stay empty.
+  std::set<std::string> stat_columns;
+  for (const auto& s : summaries) {
+    for (const auto& [key, value] : s.stat_means) {
+      (void)value;
+      stat_columns.insert(key);
+    }
+  }
+  os << "algo,model,family,n,delta,c,merge,machines,bandwidth,trials,successes,success_rate,"
         "rounds_mean,rounds_median,rounds_p95,messages_mean,messages_median,messages_p95,"
-        "bits_median,memory_median\n";
+        "bits_median,memory_median";
+  for (const auto& key : stat_columns) os << ",stat_" << key;
+  os << '\n';
   for (const auto& s : summaries) {
     const auto& c = s.config;
-    os << to_string(c.algo) << ',' << to_string(c.family) << ',' << c.n << ','
-       << fmt_num(c.delta) << ',' << fmt_num(c.c) << ',' << to_string(c.merge) << ','
-       << c.machines << ',' << c.bandwidth << ',' << s.trials << ',' << s.successes << ','
-       << fmt_num(s.success_rate) << ',' << fmt_num(s.rounds.mean) << ','
+    os << to_string(c.algo) << ',' << to_string(c.model) << ',' << to_string(c.family) << ','
+       << c.n << ',' << fmt_num(c.delta) << ',' << fmt_num(c.c) << ',' << to_string(c.merge)
+       << ',' << c.machines << ',' << c.bandwidth << ',' << s.trials << ',' << s.successes
+       << ',' << fmt_num(s.success_rate) << ',' << fmt_num(s.rounds.mean) << ','
        << fmt_num(s.rounds.median) << ',' << fmt_num(s.rounds.p95) << ','
        << fmt_num(s.messages.mean) << ',' << fmt_num(s.messages.median) << ','
        << fmt_num(s.messages.p95) << ',' << fmt_num(s.bits.median) << ','
-       << fmt_num(s.memory.median) << '\n';
+       << fmt_num(s.memory.median);
+    for (const auto& key : stat_columns) {
+      os << ',';
+      const auto it = s.stat_means.find(key);
+      if (it != s.stat_means.end()) os << fmt_num(it->second);
+    }
+    os << '\n';
   }
 }
 

@@ -63,7 +63,9 @@ support::Table summary_table(const std::vector<ConfigSummary>& summaries);
 void write_json(std::ostream& os, const std::string& scenario_name,
                 const std::vector<ConfigSummary>& summaries);
 
-/// Flat CSV with one row per configuration cell.
+/// Flat CSV with one row per configuration cell: the fixed parameter and
+/// digest columns, then one `stat_<key>` column per stat-mean key appearing
+/// in any cell (sorted union; cells without the stat stay empty).
 void write_csv(std::ostream& os, const std::vector<ConfigSummary>& summaries);
 
 }  // namespace dhc::runner

@@ -68,6 +68,28 @@ std::vector<BenchPreset> make_presets() {
     presets.push_back(std::move(p));
   }
   {
+    // The k-machine execution backend (paper §IV) as a workload family:
+    // four CONGEST solvers priced under a random vertex partition at two
+    // machine counts.  Exercises the full observer/event-log path on top of
+    // the simulator, so it tracks conversion overhead as well as solver
+    // throughput.
+    BenchPreset p;
+    p.name = "kmachine_sweep";
+    p.description = "four algorithms priced in the k-machine model, k in {4, 16}";
+    p.scenario.name = "bench-kmachine-sweep";
+    p.scenario.model = ExecutionModel::kKMachine;
+    p.scenario.algos = {Algorithm::kDra, Algorithm::kDhc1, Algorithm::kDhc2,
+                        Algorithm::kTurau};
+    p.scenario.sizes = {1024};
+    p.scenario.deltas = {0.5};
+    p.scenario.cs = {2.5};
+    p.scenario.machines = {4, 16};
+    p.scenario.bandwidth = 32;
+    p.scenario.seeds = 2;
+    p.scenario.base_seed = 803;
+    presets.push_back(std::move(p));
+  }
+  {
     // CI-sized smoke preset: every solver once, small n, a few seconds.
     BenchPreset p;
     p.name = "perf-smoke";

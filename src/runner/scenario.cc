@@ -25,6 +25,10 @@ std::string to_string(Algorithm a) {
   return "?";
 }
 
+std::string to_string(ExecutionModel m) {
+  return m == ExecutionModel::kKMachine ? "kmachine" : "congest";
+}
+
 std::string to_string(GraphFamily f) {
   switch (f) {
     case GraphFamily::kGnp: return "gnp";
@@ -51,6 +55,13 @@ Algorithm parse_algorithm(const std::string& s) {
   throw std::invalid_argument("unknown algorithm '" + s +
                               "' (expected sequential|dra|dhc1|dhc2|upcast|collect-all|"
                               "dhc2-kmachine|turau)");
+}
+
+ExecutionModel parse_execution_model(const std::string& s) {
+  if (s == "congest") return ExecutionModel::kCongest;
+  if (s == "kmachine" || s == "k-machine") return ExecutionModel::kKMachine;
+  throw std::invalid_argument("unknown execution model '" + s +
+                              "' (expected congest|kmachine)");
 }
 
 GraphFamily parse_graph_family(const std::string& s) {
@@ -91,6 +102,13 @@ void Scenario::validate() const {
   for (const auto k : machines) {
     DHC_REQUIRE(k >= 2, "machine count must be >= 2, got " << k);
   }
+  if (model == ExecutionModel::kKMachine) {
+    for (const Algorithm a : algos) {
+      DHC_REQUIRE(a != Algorithm::kSequential,
+                  "the sequential baseline has no CONGEST execution to price "
+                  "in the k-machine model");
+    }
+  }
 }
 
 namespace {
@@ -120,12 +138,25 @@ std::vector<TrialConfig> expand(const Scenario& s) {
   s.validate();
   std::vector<TrialConfig> trials;
   std::size_t cell = 0;
+  // Seed identity of a cell *excluding* the machine-count axis: k-machine
+  // cells that differ only in k draw the same algo_seed, so they run — and
+  // price — the *same* underlying CONGEST execution (the partition seed is
+  // the algo_seed too).  In scenarios without a multi-k axis the machines
+  // loop has one iteration everywhere and seed_group advances in lockstep
+  // with cell, so their seeds are unchanged; a multi-k sweep necessarily
+  // renumbers the seeds of any algorithms listed after it.
+  std::size_t seed_group = 0;
   static const std::vector<std::int64_t> kNoMachines = {0};
   static const std::vector<core::MergeStrategy> kDefaultMerge = {
       core::MergeStrategy::kMinForward};
   for (const Algorithm algo : s.algos) {
+    // The k-machine backend prices every algorithm when the scenario selects
+    // the model; the legacy kDhc2KMachine algorithm forces it for its own
+    // cells so old scenarios keep their meaning.
+    const bool kmachine =
+        s.model == ExecutionModel::kKMachine || algo == Algorithm::kDhc2KMachine;
     const auto& merges = uses_merge_strategy(algo) ? s.merges : kDefaultMerge;
-    const auto& machines = algo == Algorithm::kDhc2KMachine ? s.machines : kNoMachines;
+    const auto& machines = kmachine ? s.machines : kNoMachines;
     for (const auto size : s.sizes) {
       for (const double delta : s.deltas) {
         for (const double c : s.cs) {
@@ -136,29 +167,31 @@ std::vector<TrialConfig> expand(const Scenario& s) {
                 tc.config_index = cell;
                 tc.trial_index = t;
                 tc.algo = algo;
+                tc.model = kmachine ? ExecutionModel::kKMachine : ExecutionModel::kCongest;
                 tc.family = s.family;
                 tc.n = static_cast<graph::NodeId>(size);
                 tc.delta = delta;
                 tc.c = c;
                 tc.merge = merge;
                 tc.machines = static_cast<std::uint32_t>(k);
-                tc.bandwidth =
-                    algo == Algorithm::kDhc2KMachine ? static_cast<std::uint64_t>(s.bandwidth) : 0;
+                tc.bandwidth = kmachine ? static_cast<std::uint64_t>(s.bandwidth) : 0;
                 // The graph seed depends only on the instance parameters, so
                 // trials that differ in algorithm / merge strategy / machine
                 // count but share (family, n, delta, c, trial) run on the
                 // *same* graph — head-to-head comparisons are paired by
-                // construction.  The algorithm seed is per-cell.
+                // construction.  The algorithm seed is per seed_group:
+                // per-cell except that the machine-count axis is excluded.
                 tc.graph_seed = derive_seed(
                     s.base_seed,
                     {static_cast<std::uint64_t>(s.family), static_cast<std::uint64_t>(tc.n),
                      std::bit_cast<std::uint64_t>(delta), std::bit_cast<std::uint64_t>(c), t},
                     0x67);
-                tc.algo_seed = derive_seed(s.base_seed, {cell, t}, 0xa1);
+                tc.algo_seed = derive_seed(s.base_seed, {seed_group, t}, 0xa1);
                 trials.push_back(tc);
               }
               ++cell;
             }
+            ++seed_group;
           }
         }
       }
@@ -230,6 +263,10 @@ std::string trim(const std::string& s) {
 }  // namespace
 
 Scenario scenario_from_spec(const std::map<std::string, std::string>& spec) {
+  if (spec.contains("machines") && spec.contains("k_list")) {
+    throw std::invalid_argument("scenario keys 'machines' and 'k_list' are aliases; "
+                                "use only one");
+  }
   Scenario s;
   for (const auto& [key, value] : spec) {
     if (key == "name") {
@@ -237,6 +274,8 @@ Scenario scenario_from_spec(const std::map<std::string, std::string>& spec) {
     } else if (key == "algo" || key == "algos") {
       s.algos.clear();
       for (const auto& part : split_commas(key, value)) s.algos.push_back(parse_algorithm(part));
+    } else if (key == "model") {
+      s.model = parse_execution_model(value);
     } else if (key == "family") {
       s.family = parse_graph_family(value);
     } else if (key == "sizes") {
@@ -250,7 +289,7 @@ Scenario scenario_from_spec(const std::map<std::string, std::string>& spec) {
       for (const auto& part : split_commas(key, value)) {
         s.merges.push_back(parse_merge_strategy(part));
       }
-    } else if (key == "machines") {
+    } else if (key == "machines" || key == "k_list") {
       s.machines = parse_int_list(key, value);
     } else if (key == "bandwidth") {
       s.bandwidth = parse_int(key, value);
@@ -308,6 +347,7 @@ Scenario scenario_from_cli(const support::Cli& cli) {
       s.algos.push_back(parse_algorithm(part));
     }
   }
+  if (cli.has("model")) s.model = parse_execution_model(cli.get_string("model", ""));
   if (cli.has("family")) s.family = parse_graph_family(cli.get_string("family", ""));
   if (cli.has("sizes")) s.sizes = cli.get_int_list("sizes", {});
   if (cli.has("deltas")) s.deltas = cli.get_double_list("deltas", {});
@@ -318,7 +358,19 @@ Scenario scenario_from_cli(const support::Cli& cli) {
       s.merges.push_back(parse_merge_strategy(part));
     }
   }
-  if (cli.has("machines")) s.machines = cli.get_int_list("machines", {});
+  {
+    // --machines / --k / --k_list are aliases; more than one is ambiguous.
+    const char* seen = nullptr;
+    for (const char* key : {"machines", "k", "k_list"}) {
+      if (!cli.has(key)) continue;
+      if (seen != nullptr) {
+        throw std::invalid_argument(std::string("flags --") + seen + " and --" + key +
+                                    " are aliases; pass only one");
+      }
+      seen = key;
+      s.machines = cli.get_int_list(key, {});
+    }
+  }
   if (cli.has("bandwidth")) s.bandwidth = cli.get_int("bandwidth", s.bandwidth);
   if (cli.has("seeds")) s.seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 0));
   if (cli.has("seed")) s.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 0));

@@ -25,9 +25,10 @@
 namespace dhc::runner {
 
 /// Which solver a trial runs.  kCollectAll is Upcast with collect_all set
-/// (the trivial baseline); kDhc2KMachine is DHC2 priced under the k-machine
-/// conversion of paper §IV; kTurau is the O(log n)-time comparison protocol
-/// of arXiv:1805.06728 (DESIGN.md §2.4).
+/// (the trivial baseline); kTurau is the O(log n)-time comparison protocol
+/// of arXiv:1805.06728 (DESIGN.md §2.4).  kDhc2KMachine is the legacy
+/// spelling of "dhc2 under model = kmachine" — kept so old scenarios parse;
+/// new sweeps should combine any algorithm with the model axis instead.
 enum class Algorithm : std::uint8_t {
   kSequential,
   kDra,
@@ -39,6 +40,14 @@ enum class Algorithm : std::uint8_t {
   kTurau,
 };
 
+/// Which execution model prices a trial.  kCongest runs the plain CONGEST
+/// simulation; kKMachine runs the same simulation through the k-machine
+/// backend (src/kmachine, paper §IV): a random vertex partition over k
+/// machines, per-link bandwidth B, converted rounds = Σ ⌈busiest link /
+/// B⌉.  Under kKMachine the scenario's `machines` list becomes a sweep axis
+/// for *every* algorithm, not just dhc2.
+enum class ExecutionModel : std::uint8_t { kCongest, kKMachine };
+
 /// Input graph family.  All families are parameterized through (c, δ): the
 /// target edge probability is p = c·ln n / n^δ; G(n, M) matches its expected
 /// edge count, the regular family its expected degree, and the powerlaw
@@ -46,12 +55,14 @@ enum class Algorithm : std::uint8_t {
 enum class GraphFamily : std::uint8_t { kGnp, kGnm, kRegular, kPowerlaw };
 
 std::string to_string(Algorithm a);
+std::string to_string(ExecutionModel m);
 std::string to_string(GraphFamily f);
 std::string to_string(core::MergeStrategy s);
 
 /// Parse the spellings accepted in flags and scenario files; throw
 /// std::invalid_argument on anything else.
 Algorithm parse_algorithm(const std::string& s);
+ExecutionModel parse_execution_model(const std::string& s);
 GraphFamily parse_graph_family(const std::string& s);
 core::MergeStrategy parse_merge_strategy(const std::string& s);
 
@@ -61,12 +72,18 @@ core::MergeStrategy parse_merge_strategy(const std::string& s);
 struct Scenario {
   std::string name = "scenario";
   std::vector<Algorithm> algos = {Algorithm::kDhc2};
+  /// Execution model (spec key `model`): congest | kmachine.  Under
+  /// kmachine, every algorithm in `algos` is run through the k-machine
+  /// backend and `machines` multiplies every cell.
+  ExecutionModel model = ExecutionModel::kCongest;
   GraphFamily family = GraphFamily::kGnp;
   std::vector<std::int64_t> sizes = {512};
   std::vector<double> deltas = {0.5};
   std::vector<double> cs = {2.5};
   std::vector<core::MergeStrategy> merges = {core::MergeStrategy::kMinForward};
-  /// Machine counts for the k-machine conversion sweep (kDhc2KMachine only).
+  /// Machine counts for the k-machine sweep (spec keys `machines` or
+  /// `k_list`): every algorithm under model = kmachine, plus the legacy
+  /// kDhc2KMachine algorithm under model = congest.
   std::vector<std::int64_t> machines = {8};
   /// Per-link bandwidth (messages/round) for the k-machine pricing.
   std::int64_t bandwidth = 32;
@@ -86,13 +103,16 @@ struct TrialConfig {
   std::size_t config_index = 0;   ///< Which cross-product cell this trial belongs to.
   std::uint64_t trial_index = 0;  ///< 0-based seed index within the cell.
   Algorithm algo = Algorithm::kDhc2;
+  /// kKMachine for every trial priced by the k-machine backend (scenarios
+  /// with model = kmachine, and the legacy kDhc2KMachine algorithm).
+  ExecutionModel model = ExecutionModel::kCongest;
   GraphFamily family = GraphFamily::kGnp;
   graph::NodeId n = 0;
   double delta = 0.0;
   double c = 0.0;
   core::MergeStrategy merge = core::MergeStrategy::kMinForward;
-  std::uint32_t machines = 0;     ///< 0 unless algo == kDhc2KMachine.
-  std::uint64_t bandwidth = 0;    ///< 0 unless algo == kDhc2KMachine.
+  std::uint32_t machines = 0;     ///< 0 unless model == kKMachine.
+  std::uint64_t bandwidth = 0;    ///< 0 unless model == kKMachine.
   std::uint64_t graph_seed = 0;
   std::uint64_t algo_seed = 0;
 };
@@ -102,13 +122,15 @@ struct TrialConfig {
 /// configs (including seeds); validate() is invoked first.  Graph seeds
 /// depend only on (base_seed, family, n, delta, c, trial index): trials that
 /// differ in algorithm, merge strategy, or machine count run on identical
-/// instances, so head-to-head sweeps are paired comparisons.
+/// instances, so head-to-head sweeps are paired comparisons.  Algorithm
+/// seeds additionally ignore the machine-count axis, so k-machine cells
+/// differing only in k price the *same* underlying execution.
 std::vector<TrialConfig> expand(const Scenario& s);
 
 /// Builds a Scenario from a key=value map (the shared core of file and CLI
-/// parsing).  Recognized keys: name, algos (or algo), family, sizes, deltas,
-/// cs, merges, machines, bandwidth, seeds, seed.  Unknown keys and malformed
-/// values throw std::invalid_argument.
+/// parsing).  Recognized keys: name, algos (or algo), model, family, sizes,
+/// deltas, cs, merges, machines (or k_list), bandwidth, seeds, seed.
+/// Unknown keys and malformed values throw std::invalid_argument.
 Scenario scenario_from_spec(const std::map<std::string, std::string>& spec);
 
 /// Parses a scenario file: one `key = value` per line, `#` comments and

@@ -71,6 +71,14 @@ void fill_from_result(TrialResult& out, core::Result& r) {
   out.stats = std::move(r.stats);
 }
 
+// Instance facts recorded for every trial, whatever the model or solver;
+// must run *after* fill_from_result (which replaces the stats map).
+void add_instance_stats(TrialResult& out, const graph::Graph& g, const TrialConfig& t) {
+  out.stats["graph_m"] = static_cast<double>(g.m());
+  out.stats["graph_connected"] = graph::is_connected(g) ? 1.0 : 0.0;
+  out.stats["mean_degree"] = t.n > 0 ? 2.0 * static_cast<double>(g.m()) / t.n : 0.0;
+}
+
 void verify_incidence(TrialResult& out, const graph::Graph& g,
                       const graph::CycleIncidence& cycle) {
   if (!out.success) return;
@@ -81,94 +89,99 @@ void verify_incidence(TrialResult& out, const graph::Graph& g,
   }
 }
 
-TrialResult run_trial_unchecked(const TrialConfig& t, bool verify, std::uint32_t shards) {
-  TrialResult out;
-  const graph::Graph g = make_trial_instance(t);
-
+// Maps a TrialConfig to the adapter that runs its CONGEST solver — the
+// single place scenario parameters are forwarded into solver configs,
+// shared by both execution models so a congest and a k-machine run of the
+// same cell can never drift apart.  kSequential is not a CONGEST
+// algorithm: returns null.
+kmachine::CongestAlgorithm congest_algorithm_for(const TrialConfig& t) {
   switch (t.algo) {
-    case Algorithm::kSequential: {
-      support::Rng rng(t.algo_seed);
-      const auto r = core::rotation_hamiltonian_cycle(g, rng);
-      out.success = r.success;
-      out.failure_reason = r.failure_reason;
-      out.rounds = static_cast<double>(r.stats.steps);
-      out.stats["steps"] = static_cast<double>(r.stats.steps);
-      out.stats["extensions"] = static_cast<double>(r.stats.extensions);
-      out.stats["rotations"] = static_cast<double>(r.stats.rotations);
-      if (out.success && verify) {
-        const auto v = graph::verify_cycle_order(g, r.cycle);
-        if (!v.ok()) {
-          out.success = false;
-          out.failure_reason = "verifier: " + *v.failure;
-        }
-      }
-      break;
-    }
-    case Algorithm::kDra: {
-      core::DraConfig cfg;
-      cfg.shards = shards;
-      auto r = core::run_dra(g, t.algo_seed, cfg);
-      fill_from_result(out, r);
-      if (verify) verify_incidence(out, g, r.cycle);
-      break;
-    }
-    case Algorithm::kDhc1: {
-      core::Dhc1Config cfg;
-      cfg.shards = shards;
-      auto r = core::run_dhc1(g, t.algo_seed, cfg);
-      fill_from_result(out, r);
-      if (verify) verify_incidence(out, g, r.cycle);
-      break;
-    }
-    case Algorithm::kDhc2: {
-      core::Dhc2Config cfg;
-      cfg.delta = t.delta;
-      cfg.merge_strategy = t.merge;
-      cfg.shards = shards;
-      auto r = core::run_dhc2(g, t.algo_seed, cfg);
-      fill_from_result(out, r);
-      if (verify) verify_incidence(out, g, r.cycle);
-      break;
-    }
-    case Algorithm::kTurau: {
-      core::TurauConfig cfg;
-      cfg.shards = shards;
-      auto r = core::run_turau(g, t.algo_seed, cfg);
-      fill_from_result(out, r);
-      if (verify) verify_incidence(out, g, r.cycle);
-      break;
-    }
-    case Algorithm::kUpcast:
-    case Algorithm::kCollectAll: {
-      core::UpcastConfig cfg;
-      cfg.collect_all = t.algo == Algorithm::kCollectAll;
-      cfg.shards = shards;
-      auto r = core::run_upcast(g, t.algo_seed, cfg);
-      fill_from_result(out, r);
-      if (verify) verify_incidence(out, g, r.cycle);
-      break;
-    }
+    case Algorithm::kSequential:
+      return nullptr;
+    case Algorithm::kDra:
+      return kmachine::dra_algorithm();
+    case Algorithm::kDhc1:
+      return kmachine::dhc1_algorithm();
+    case Algorithm::kDhc2:
     case Algorithm::kDhc2KMachine: {
       core::Dhc2Config cfg;
       cfg.delta = t.delta;
       cfg.merge_strategy = t.merge;
-      cfg.shards = shards;
-      const auto r = kmachine::convert_dhc2(g, t.algo_seed, t.machines, t.bandwidth, cfg);
-      out.success = r.success;
-      if (!r.success) out.failure_reason = "dhc2 failed under k-machine pricing";
-      out.rounds = static_cast<double>(r.kmachine_rounds);
-      out.messages = static_cast<double>(r.cross_messages + r.local_messages);
-      out.stats["congest_rounds"] = static_cast<double>(r.congest_rounds);
-      out.stats["kmachine_rounds"] = static_cast<double>(r.kmachine_rounds);
-      out.stats["cross_messages"] = static_cast<double>(r.cross_messages);
-      out.stats["local_messages"] = static_cast<double>(r.local_messages);
-      break;
+      return kmachine::dhc2_algorithm(cfg);
+    }
+    case Algorithm::kTurau:
+      return kmachine::turau_algorithm();
+    case Algorithm::kUpcast:
+    case Algorithm::kCollectAll: {
+      core::UpcastConfig cfg;
+      cfg.collect_all = t.algo == Algorithm::kCollectAll;
+      return kmachine::upcast_algorithm(cfg);
     }
   }
+  throw std::logic_error("unreachable algorithm");
+}
 
-  out.stats["graph_m"] = static_cast<double>(g.m());
-  out.stats["graph_connected"] = graph::is_connected(g) ? 1.0 : 0.0;
-  out.stats["mean_degree"] = t.n > 0 ? 2.0 * static_cast<double>(g.m()) / t.n : 0.0;
+// Runs one trial through the k-machine execution backend (src/kmachine):
+// any CONGEST algorithm, a random vertex partition over t.machines machines
+// seeded from the trial's algo_seed, per-link bandwidth t.bandwidth.  The
+// headline `rounds` are the converted k-machine rounds; the raw CONGEST
+// rounds and the full pricing report land in stats.
+void run_kmachine_trial(TrialResult& out, const graph::Graph& g, const TrialConfig& t,
+                        bool verify, std::uint32_t shards) {
+  const kmachine::CongestAlgorithm algo = congest_algorithm_for(t);
+  if (algo == nullptr) {
+    out.failure_reason =
+        "sequential has no CONGEST execution to price in the k-machine model";
+    return;
+  }
+
+  kmachine::KMachineConfig kcfg;
+  kcfg.k = t.machines;
+  kcfg.bandwidth = t.bandwidth;
+  kcfg.partition_seed = t.algo_seed;
+  kcfg.shards = shards;
+  auto priced = kmachine::run_kmachine(algo, g, t.algo_seed, kcfg);
+  fill_from_result(out, priced.result);
+  out.rounds = static_cast<double>(priced.report.kmachine_rounds);
+  out.stats["congest_rounds"] = static_cast<double>(priced.report.congest_rounds);
+  out.stats["kmachine_rounds"] = static_cast<double>(priced.report.kmachine_rounds);
+  out.stats["cross_messages"] = static_cast<double>(priced.report.cross_messages);
+  out.stats["local_messages"] = static_cast<double>(priced.report.local_messages);
+  out.stats["busiest_link_peak"] = static_cast<double>(priced.report.busiest_link_peak);
+  if (verify) verify_incidence(out, g, priced.result.cycle);
+}
+
+TrialResult run_trial_unchecked(const TrialConfig& t, bool verify, std::uint32_t shards) {
+  TrialResult out;
+  const graph::Graph g = make_trial_instance(t);
+
+  if (t.model == ExecutionModel::kKMachine || t.algo == Algorithm::kDhc2KMachine) {
+    run_kmachine_trial(out, g, t, verify, shards);
+  } else if (t.algo == Algorithm::kSequential) {
+    support::Rng rng(t.algo_seed);
+    const auto r = core::rotation_hamiltonian_cycle(g, rng);
+    out.success = r.success;
+    out.failure_reason = r.failure_reason;
+    out.rounds = static_cast<double>(r.stats.steps);
+    out.stats["steps"] = static_cast<double>(r.stats.steps);
+    out.stats["extensions"] = static_cast<double>(r.stats.extensions);
+    out.stats["rotations"] = static_cast<double>(r.stats.rotations);
+    if (out.success && verify) {
+      const auto v = graph::verify_cycle_order(g, r.cycle);
+      if (!v.ok()) {
+        out.success = false;
+        out.failure_reason = "verifier: " + *v.failure;
+      }
+    }
+  } else {
+    // Plain CONGEST execution, through the same adapter the k-machine path
+    // uses (no observer attached).
+    auto r = congest_algorithm_for(t)(g, t.algo_seed, /*observer=*/nullptr, shards);
+    fill_from_result(out, r);
+    if (verify) verify_incidence(out, g, r.cycle);
+  }
+
+  add_instance_stats(out, g, t);
   return out;
 }
 

@@ -30,8 +30,9 @@ struct TrialResult {
   std::string failure_reason;
 
   /// CONGEST cost (for kSequential: rounds counts solver steps, the rest 0;
-  /// for kDhc2KMachine: rounds is the converted k-machine round count and
-  /// the raw CONGEST rounds are stats["congest_rounds"]).
+  /// for k-machine-model trials: rounds is the converted k-machine round
+  /// count and the raw CONGEST rounds are stats["congest_rounds"], with the
+  /// cross/local split and busiest_link_peak alongside).
   double rounds = 0.0;
   double messages = 0.0;
   double bits = 0.0;
@@ -56,8 +57,9 @@ struct RunnerOptions {
   /// before any other arbitration, so the resolved split describes what
   /// actually ran.
   unsigned threads = 1;
-  /// Verify returned cycles against the input graph (recommended; the
-  /// k-machine conversion reports success only, nothing to verify).
+  /// Verify returned cycles against the input graph (recommended; applies
+  /// to k-machine-model trials too — the backend returns the underlying
+  /// solver's cycle).
   bool verify = true;
   /// Simulator shards per trial.  0 = auto: prefer trial-parallelism when
   /// there are at least as many trials as budget lanes, otherwise hand the

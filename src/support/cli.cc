@@ -97,4 +97,21 @@ std::vector<double> Cli::get_double_list(const std::string& key,
   return out;
 }
 
+std::vector<std::string> Cli::get_string_list(const std::string& key,
+                                              std::vector<std::string> fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  const auto out = split_commas(it->second);
+  if (out.empty()) {
+    throw std::invalid_argument("flag --" + key + " has an empty value");
+  }
+  for (const auto& part : out) {
+    if (part.empty()) {
+      throw std::invalid_argument("flag --" + key + " has an empty list element in '" +
+                                  it->second + "'");
+    }
+  }
+  return out;
+}
+
 }  // namespace dhc::support

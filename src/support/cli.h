@@ -34,6 +34,12 @@ class Cli {
   std::vector<double> get_double_list(const std::string& key,
                                       std::vector<double> fallback) const;
 
+  /// Comma-separated string list, e.g. --algos=dhc2,turau.  Empty elements
+  /// (and an empty value) throw — a trailing or doubled comma is always a
+  /// typo, never a request for the empty string.
+  std::vector<std::string> get_string_list(const std::string& key,
+                                           std::vector<std::string> fallback) const;
+
  private:
   std::map<std::string, std::string> flags_;
 };

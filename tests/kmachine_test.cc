@@ -1,4 +1,5 @@
-// Tests for the k-machine model conversion (paper §IV).
+// Tests for the k-machine model backend (paper §IV): the pricing observer,
+// its mid-run idempotency, and the algorithm-agnostic execution driver.
 #include "kmachine/kmachine.h"
 
 #include <gtest/gtest.h>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "graph/hamiltonian.h"
 
 namespace dhc::kmachine {
 namespace {
@@ -74,6 +76,92 @@ TEST(KMachineCost, RoundsAccumulateAcrossCongestRounds) {
   EXPECT_EQ(cost.kmachine_rounds(), 3u);
 }
 
+// Regression for the mid-run pricing bug: kmachine_rounds() used to
+// flush_round() — zeroing round_load_/touched_links_ for a round still
+// receiving sends — so a mid-round read split that round's link load L into
+// fragments a + b priced ⌈a/bw⌉ + ⌈b/bw⌉ instead of ⌈L/bw⌉.  With bw = 4
+// and a 2+2 split the pre-fix total is 2, the correct total 1; this test
+// fails against the old flushing implementation.
+TEST(KMachineCost, MidRoundReadDoesNotSplitTheRoundCharge) {
+  KMachineCost probed(4, 2, /*bandwidth=*/4, 3);
+  KMachineCost clean(4, 2, /*bandwidth=*/4, 3);
+  NodeId u = 0, v = 0;
+  for (NodeId x = 1; x < 4; ++x) {
+    if (probed.machine_of(x) != probed.machine_of(0)) v = x;
+  }
+  ASSERT_NE(v, 0u);
+
+  for (int i = 0; i < 2; ++i) probed.on_send(u, v, 1);
+  EXPECT_EQ(probed.kmachine_rounds(), 1u);  // mid-round read: ceil(2/4)
+  for (int i = 0; i < 2; ++i) probed.on_send(u, v, 1);
+
+  for (int i = 0; i < 4; ++i) clean.on_send(u, v, 1);
+
+  // 4 messages on one link in one round at bandwidth 4: exactly 1 round,
+  // regardless of the mid-round read.
+  EXPECT_EQ(clean.kmachine_rounds(), 1u);
+  EXPECT_EQ(probed.kmachine_rounds(), clean.kmachine_rounds());
+}
+
+TEST(KMachineCost, RepeatedReadsAreIdempotent) {
+  KMachineCost cost(4, 2, 2, 3);
+  NodeId u = 0, v = 0;
+  for (NodeId x = 1; x < 4; ++x) {
+    if (cost.machine_of(x) != cost.machine_of(0)) v = x;
+  }
+  for (int i = 0; i < 5; ++i) cost.on_send(u, v, 1);
+  const auto first = cost.kmachine_rounds();
+  EXPECT_EQ(cost.kmachine_rounds(), first);
+  EXPECT_EQ(cost.kmachine_rounds(), first);
+  cost.on_send(u, v, 2);
+  EXPECT_EQ(cost.kmachine_rounds(), first + 1);
+}
+
+/// Forwards every send to the wrapped cost and immediately reads the price —
+/// the hostile consumer the pre-fix flush-on-read implementation corrupted.
+class ProbingTap : public congest::MessageObserver {
+ public:
+  explicit ProbingTap(KMachineCost& inner) : inner_(inner) {}
+  void on_send(NodeId from, NodeId to, std::uint64_t round) override {
+    inner_.on_send(from, to, round);
+    last_probe_ = inner_.kmachine_rounds();
+  }
+  // on_events is left defaulted: the base class replays batches through
+  // on_send, so sharded rounds are probed per message too.
+  std::uint64_t last_probe() const { return last_probe_; }
+
+ private:
+  KMachineCost& inner_;
+  std::uint64_t last_probe_ = 0;
+};
+
+// End-to-end regression (the satellite's acceptance shape): attach one
+// pricing observer that is read after *every* message of a real DHC2 run
+// and one that is read only at the end — the final counts must match.
+TEST(KMachineCost, MidRunReadsMatchEndOfRunRead) {
+  support::Rng rng(11);
+  const auto g = graph::gnp(128, graph::edge_probability(128, 2.5, 0.5), rng);
+
+  KMachineCost probed_cost(g.n(), /*k=*/8, /*bandwidth=*/4, /*seed=*/23);
+  ProbingTap tap(probed_cost);
+  core::Dhc2Config cfg;
+  cfg.delta = 0.5;
+  cfg.observer = &tap;
+  const auto r_probed = core::run_dhc2(g, /*seed=*/23, cfg);
+
+  KMachineCost clean_cost(g.n(), /*k=*/8, /*bandwidth=*/4, /*seed=*/23);
+  core::Dhc2Config clean_cfg;
+  clean_cfg.delta = 0.5;
+  clean_cfg.observer = &clean_cost;
+  const auto r_clean = core::run_dhc2(g, /*seed=*/23, clean_cfg);
+
+  ASSERT_EQ(r_probed.success, r_clean.success);
+  EXPECT_EQ(probed_cost.kmachine_rounds(), clean_cost.kmachine_rounds());
+  EXPECT_EQ(probed_cost.cross_messages(), clean_cost.cross_messages());
+  EXPECT_EQ(probed_cost.busiest_link_peak(), clean_cost.busiest_link_peak());
+  EXPECT_EQ(tap.last_probe(), clean_cost.kmachine_rounds());
+}
+
 TEST(KMachineCost, RejectsDegenerateParameters) {
   EXPECT_THROW(KMachineCost(10, 1, 1, 1), std::invalid_argument);
   EXPECT_THROW(KMachineCost(10, 2, 0, 1), std::invalid_argument);
@@ -92,7 +180,7 @@ TEST(ConvertDhc2, LiveAndMergedEventLogPricingIdentical) {
     std::uint64_t kmachine_rounds;
     std::uint64_t cross_messages;
     std::uint64_t local_messages;
-    std::uint64_t busiest_link_total;
+    std::uint64_t busiest_link_peak;
   };
   support::Rng rng(21);
   const auto g = graph::gnp(256, graph::edge_probability(256, 2.5, 0.5), rng);
@@ -107,7 +195,7 @@ TEST(ConvertDhc2, LiveAndMergedEventLogPricingIdentical) {
     cfg.shards = shards;
     const core::Result r = core::run_dhc2(g, /*seed=*/17, cfg);
     return {r.success,          r.metrics.rounds,      cost.kmachine_rounds(),
-            cost.cross_messages(), cost.local_messages(), cost.busiest_link_total()};
+            cost.cross_messages(), cost.local_messages(), cost.busiest_link_peak()};
   };
 
   const Priced live = price(/*shards=*/1);
@@ -118,7 +206,7 @@ TEST(ConvertDhc2, LiveAndMergedEventLogPricingIdentical) {
     EXPECT_EQ(merged.kmachine_rounds, live.kmachine_rounds) << "shards=" << shards;
     EXPECT_EQ(merged.cross_messages, live.cross_messages) << "shards=" << shards;
     EXPECT_EQ(merged.local_messages, live.local_messages) << "shards=" << shards;
-    EXPECT_EQ(merged.busiest_link_total, live.busiest_link_total) << "shards=" << shards;
+    EXPECT_EQ(merged.busiest_link_peak, live.busiest_link_peak) << "shards=" << shards;
   }
   if (old_grain == nullptr) {
     unsetenv("DHC_SHARD_GRAIN");
@@ -153,7 +241,7 @@ TEST(KMachineCost, BatchEventsMatchSingleSends) {
   EXPECT_EQ(a.kmachine_rounds(), b.kmachine_rounds());
   EXPECT_EQ(a.cross_messages(), b.cross_messages());
   EXPECT_EQ(a.local_messages(), b.local_messages());
-  EXPECT_EQ(a.busiest_link_total(), b.busiest_link_total());
+  EXPECT_EQ(a.busiest_link_peak(), b.busiest_link_peak());
 }
 
 TEST(ConvertDhc2, EndToEndAndMoreMachinesHelp) {
@@ -171,6 +259,114 @@ TEST(ConvertDhc2, EndToEndAndMoreMachinesHelp) {
   // rounds (the busiest link carries less).
   EXPECT_LT(r16.kmachine_rounds, r4.kmachine_rounds);
   EXPECT_GT(r16.cross_messages, r4.cross_messages);  // fewer co-located pairs
+  EXPECT_GT(r4.busiest_link_peak, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The execution backend: run_kmachine() over the registered algorithms.
+// ---------------------------------------------------------------------------
+
+TEST(RunKMachine, MatchesLegacyConvertDhc2) {
+  support::Rng rng(7);
+  const auto g = graph::gnp(192, graph::edge_probability(192, 2.5, 0.5), rng);
+  core::Dhc2Config base;
+  base.delta = 0.5;
+
+  const auto legacy = convert_dhc2(g, 13, /*k=*/8, /*bandwidth=*/8, base);
+
+  KMachineConfig cfg;
+  cfg.k = 8;
+  cfg.bandwidth = 8;
+  const auto backend = run_kmachine(dhc2_algorithm(base), g, 13, cfg).report;
+
+  EXPECT_EQ(backend.success, legacy.success);
+  EXPECT_EQ(backend.congest_rounds, legacy.congest_rounds);
+  EXPECT_EQ(backend.kmachine_rounds, legacy.kmachine_rounds);
+  EXPECT_EQ(backend.cross_messages, legacy.cross_messages);
+  EXPECT_EQ(backend.local_messages, legacy.local_messages);
+  EXPECT_EQ(backend.busiest_link_peak, legacy.busiest_link_peak);
+}
+
+TEST(RunKMachine, AlgorithmByNameKnowsTheRegistry) {
+  for (const char* name : {"dra", "dhc1", "dhc2", "turau", "upcast", "collect-all"}) {
+    EXPECT_NE(algorithm_by_name(name), nullptr) << name;
+  }
+  EXPECT_THROW(algorithm_by_name("sequential"), std::invalid_argument);
+  EXPECT_THROW(algorithm_by_name("nope"), std::invalid_argument);
+}
+
+// The acceptance pin: for every registered algorithm the backend's full
+// report — converted rounds above all — is bitwise identical between a live
+// sequential run (shards = 1) and a sharded run (shards = 4, the CI
+// DHC_SHARDS matrix value), with the shard grain forced down so even sparse
+// rounds exercise the merged event log.  Also end-to-end sanity: a
+// successful run's cycle verifies against the input graph.
+TEST(RunKMachine, ReportShardInvariantForEveryAlgorithm) {
+  support::Rng rng(31);
+  const auto g = graph::gnp(256, graph::edge_probability(256, 2.5, 0.5), rng);
+
+  const char* old_grain = std::getenv("DHC_SHARD_GRAIN");
+  setenv("DHC_SHARD_GRAIN", "1", 1);
+
+  const struct {
+    const char* name;
+    CongestAlgorithm algo;
+  } algorithms[] = {
+      {"dra", dra_algorithm()},
+      {"dhc1", dhc1_algorithm()},
+      {"dhc2", dhc2_algorithm()},
+      {"turau", turau_algorithm()},
+  };
+
+  for (const auto& [name, algo] : algorithms) {
+    const auto run_with = [&](std::uint32_t shards) {
+      KMachineConfig cfg;
+      cfg.k = 8;
+      cfg.bandwidth = 4;
+      cfg.shards = shards;
+      return run_kmachine(algo, g, /*seed=*/29, cfg);
+    };
+    const auto live = run_with(/*shards=*/1);
+    const auto sharded = run_with(/*shards=*/4);
+
+    EXPECT_EQ(sharded.report.success, live.report.success) << name;
+    EXPECT_EQ(sharded.report.congest_rounds, live.report.congest_rounds) << name;
+    EXPECT_EQ(sharded.report.kmachine_rounds, live.report.kmachine_rounds) << name;
+    EXPECT_EQ(sharded.report.cross_messages, live.report.cross_messages) << name;
+    EXPECT_EQ(sharded.report.local_messages, live.report.local_messages) << name;
+    EXPECT_EQ(sharded.report.busiest_link_peak, live.report.busiest_link_peak) << name;
+    EXPECT_GT(live.report.kmachine_rounds, 0u) << name;
+
+    if (live.report.success) {
+      const auto v = graph::verify_cycle_incidence(g, live.result.cycle);
+      EXPECT_TRUE(v.ok()) << name << ": " << (v.failure ? *v.failure : "");
+    }
+  }
+
+  if (old_grain == nullptr) {
+    unsetenv("DHC_SHARD_GRAIN");
+  } else {
+    setenv("DHC_SHARD_GRAIN", old_grain, 1);
+  }
+}
+
+TEST(RunKMachine, MoreMachinesHelpBeyondDhc2) {
+  support::Rng rng(3);
+  const auto g = graph::gnp(256, graph::edge_probability(256, 2.5, 0.5), rng);
+  for (const char* name : {"turau", "dra"}) {
+    const auto run_with = [&](std::uint32_t k) {
+      KMachineConfig cfg;
+      cfg.k = k;
+      cfg.bandwidth = 16;
+      return run_kmachine(algorithm_by_name(name), g, /*seed=*/41, cfg).report;
+    };
+    const auto r4 = run_with(4);
+    const auto r16 = run_with(16);
+    ASSERT_TRUE(r4.success) << name;
+    ASSERT_TRUE(r16.success) << name;
+    EXPECT_EQ(r4.congest_rounds, r16.congest_rounds) << name;  // same underlying run
+    EXPECT_LT(r16.kmachine_rounds, r4.kmachine_rounds) << name;
+  }
 }
 
 }  // namespace

@@ -76,7 +76,7 @@ TEST(Artifact, JsonSchemaIsPinned) {
   // Per-config schema: the fixed prefix, then one six-key digest per
   // measurement, then the open-ended stats map.
   const std::vector<std::string> config_prefix = {
-      "algo",   "family",    "n",     "delta",     "c",        "merge",
+      "algo",   "model",  "family",    "n",     "delta",     "c",        "merge",
       "machines", "bandwidth", "trials", "successes", "success_rate"};
   const std::vector<std::string> digest_keys = {"count", "mean", "median", "p95", "min", "max"};
   const std::vector<std::string> metrics = {"rounds", "messages", "bits", "memory"};
@@ -114,6 +114,7 @@ TEST(Artifact, JsonCarriesScenarioNameAndCellValues) {
   const Artifact a = tiny_artifact();
   EXPECT_NE(a.json.find("\"scenario\": \"golden\""), std::string::npos);
   EXPECT_NE(a.json.find("\"algo\": \"sequential\""), std::string::npos);
+  EXPECT_NE(a.json.find("\"model\": \"congest\""), std::string::npos);
   EXPECT_NE(a.json.find("\"n\": 16"), std::string::npos);
   EXPECT_NE(a.json.find("\"n\": 24"), std::string::npos);
   EXPECT_NE(a.json.find("\"trials\": 2"), std::string::npos);
@@ -123,14 +124,62 @@ TEST(Artifact, CsvHeaderIsPinned) {
   const Artifact a = tiny_artifact();
   const auto newline = a.csv.find('\n');
   ASSERT_NE(newline, std::string::npos);
+  // Fixed columns, then the sorted union of stat-mean keys as `stat_<key>`
+  // columns (for the pinned sequential scenario: its three solver counters
+  // plus the three instance facts).
   EXPECT_EQ(a.csv.substr(0, newline),
-            "algo,family,n,delta,c,merge,machines,bandwidth,trials,successes,success_rate,"
+            "algo,model,family,n,delta,c,merge,machines,bandwidth,trials,successes,"
+            "success_rate,"
             "rounds_mean,rounds_median,rounds_p95,messages_mean,messages_median,messages_p95,"
-            "bits_median,memory_median");
+            "bits_median,memory_median,"
+            "stat_extensions,stat_graph_connected,stat_graph_m,stat_mean_degree,"
+            "stat_rotations,stat_steps");
   // One data row per cell after the header; every line is newline-terminated.
   ASSERT_EQ(a.csv.back(), '\n');
   const auto lines = static_cast<std::size_t>(std::count(a.csv.begin(), a.csv.end(), '\n'));
   EXPECT_EQ(lines, 1 + a.summaries.size());
+}
+
+// The k-machine execution backend end to end through the runner: a model =
+// kmachine scenario over two algorithms runs, aggregates converted rounds,
+// and exports the pricing stats (busiest_link_peak above all) in both
+// artifacts.
+TEST(Artifact, KMachineModelArtifactsCarryPricingStats) {
+  Artifact a;
+  a.scenario = scenario_from_spec({{"name", "kmachine-golden"},
+                                   {"algos", "dhc2,turau"},
+                                   {"model", "kmachine"},
+                                   {"sizes", "64"},
+                                   {"deltas", "0.5"},
+                                   {"cs", "4"},
+                                   {"k_list", "2,4"},
+                                   {"bandwidth", "8"},
+                                   {"seeds", "2"}});
+  const auto trials = expand(a.scenario);
+  ASSERT_EQ(trials.size(), 8u);  // 2 algos × 2 machine counts × 2 seeds
+  const auto results = run_trials(trials, {.threads = 2});
+  a.summaries = aggregate(trials, results);
+  std::ostringstream js, cs;
+  write_json(js, a.scenario.name, a.summaries);
+  a.json = js.str();
+  write_csv(cs, a.summaries);
+  a.csv = cs.str();
+
+  EXPECT_NE(a.json.find("\"model\": \"kmachine\""), std::string::npos);
+  for (const char* stat : {"kmachine_rounds", "congest_rounds", "cross_messages",
+                           "local_messages", "busiest_link_peak"}) {
+    EXPECT_NE(a.json.find(std::string("\"") + stat + "\": "), std::string::npos) << stat;
+    EXPECT_NE(a.csv.find(std::string("stat_") + stat), std::string::npos) << stat;
+  }
+  for (const auto& s : a.summaries) {
+    EXPECT_EQ(s.config.model, ExecutionModel::kKMachine);
+    ASSERT_TRUE(s.stat_means.contains("busiest_link_peak"));
+    if (s.successes > 0) {
+      // Aggregated headline rounds are the *converted* k-machine rounds.
+      EXPECT_GT(s.rounds.median, 0.0);
+      EXPECT_GT(s.stat_means.at("busiest_link_peak"), 0.0);
+    }
+  }
 }
 
 }  // namespace

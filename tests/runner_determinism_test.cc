@@ -147,6 +147,27 @@ TEST(TrialRunner, ResultsAreShardCountInvariant) {
   EXPECT_EQ(json_of(s, trials, sequential), json_of(s, trials, sharded));
 }
 
+TEST(TrialRunner, KMachineModelResultsAreShardCountInvariant) {
+  // The k-machine backend consumes the merged event log on sharded rounds;
+  // converted rounds (and the whole artifact) must not depend on the split.
+  Scenario s;
+  s.model = ExecutionModel::kKMachine;
+  s.algos = {Algorithm::kDra, Algorithm::kDhc2, Algorithm::kTurau};
+  s.sizes = {64};
+  s.deltas = {0.5};
+  s.cs = {4.0};
+  s.machines = {4};
+  s.bandwidth = 8;
+  s.seeds = 2;
+  s.base_seed = 23;
+  const auto trials = expand(s);
+
+  const auto sequential = run_trials(trials, {.threads = 1, .shards = 1});
+  const auto sharded = run_trials(trials, {.threads = 1, .shards = 4});
+  expect_same_results(sequential, sharded);
+  EXPECT_EQ(json_of(s, trials, sequential), json_of(s, trials, sharded));
+}
+
 TEST(ResolveParallelism, ClampsThreadsToHardwareBeforeTrialCountMin) {
   const unsigned hw = support::WorkerPool::hardware_lanes();
   RunnerOptions opt;

@@ -37,6 +37,15 @@ TEST(ParseAlgorithm, RejectsUnknown) {
   EXPECT_THROW(parse_algorithm(""), std::invalid_argument);
 }
 
+TEST(ParseExecutionModel, RoundTripsAndRejects) {
+  for (const ExecutionModel m : {ExecutionModel::kCongest, ExecutionModel::kKMachine}) {
+    EXPECT_EQ(parse_execution_model(to_string(m)), m);
+  }
+  EXPECT_EQ(parse_execution_model("k-machine"), ExecutionModel::kKMachine);
+  EXPECT_THROW(parse_execution_model("pram"), std::invalid_argument);
+  EXPECT_THROW(parse_execution_model(""), std::invalid_argument);
+}
+
 TEST(ParseGraphFamily, RoundTripsAndRejects) {
   for (const GraphFamily f : {GraphFamily::kGnp, GraphFamily::kGnm, GraphFamily::kRegular,
                               GraphFamily::kPowerlaw}) {
@@ -100,6 +109,13 @@ TEST(ScenarioValidate, RejectsOutOfRangeFields) {
     s.machines = {1};
     EXPECT_THROW(s.validate(), std::invalid_argument);
   }
+  {
+    // The sequential baseline has no CONGEST execution to price.
+    Scenario s;
+    s.model = ExecutionModel::kKMachine;
+    s.algos = {Algorithm::kSequential};
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
 }
 
 TEST(Expand, CrossProductCountsAndOrder) {
@@ -138,9 +154,42 @@ TEST(Expand, MachinesOnlyMultiplyKMachineAlgorithm) {
   // dhc2: 1 cell; dhc2-kmachine: 3 cells.
   EXPECT_EQ(trials.size(), 4u);
   EXPECT_EQ(trials[0].machines, 0u);
+  EXPECT_EQ(trials[0].model, ExecutionModel::kCongest);
   EXPECT_EQ(trials[1].machines, 4u);
+  EXPECT_EQ(trials[1].model, ExecutionModel::kKMachine);  // legacy spelling
   EXPECT_EQ(trials[3].machines, 16u);
   EXPECT_EQ(trials[3].bandwidth, static_cast<std::uint64_t>(s.bandwidth));
+}
+
+TEST(Expand, KMachineModelSweepsMachinesForEveryAlgorithm) {
+  Scenario s;
+  s.model = ExecutionModel::kKMachine;
+  s.algos = {Algorithm::kDra, Algorithm::kTurau};
+  s.machines = {4, 8, 16};
+  s.seeds = 2;
+  const auto trials = expand(s);
+  // 2 algorithms × 3 machine counts = 6 cells, 2 trials each.
+  EXPECT_EQ(trials.size(), 12u);
+  for (const auto& t : trials) {
+    EXPECT_EQ(t.model, ExecutionModel::kKMachine);
+    EXPECT_GE(t.machines, 4u);
+    EXPECT_EQ(t.bandwidth, static_cast<std::uint64_t>(s.bandwidth));
+  }
+  EXPECT_EQ(trials[0].algo, Algorithm::kDra);
+  EXPECT_EQ(trials.back().algo, Algorithm::kTurau);
+  EXPECT_EQ(trials.back().machines, 16u);
+  // Cells differing only in the machine count share graph *and* algorithm
+  // seeds: they price the same underlying execution at different k.
+  for (const auto& a : trials) {
+    for (const auto& b : trials) {
+      if (a.algo == b.algo && a.trial_index == b.trial_index) {
+        EXPECT_EQ(a.algo_seed, b.algo_seed);
+        EXPECT_EQ(a.graph_seed, b.graph_seed);
+      } else if (a.algo != b.algo && a.trial_index == b.trial_index) {
+        EXPECT_NE(a.algo_seed, b.algo_seed);
+      }
+    }
+  }
 }
 
 TEST(Expand, GraphSeedsPairTrialsAcrossAlgorithmsAndMerges) {
@@ -191,6 +240,7 @@ TEST(Expand, SeedsAreDeterministicAndDistinct) {
 TEST(ScenarioFromSpec, ParsesEveryKey) {
   const auto s = scenario_from_spec({{"name", "sweep"},
                                      {"algos", "dra,dhc2"},
+                                     {"model", "kmachine"},
                                      {"family", "gnm"},
                                      {"sizes", "128,256"},
                                      {"deltas", "0.5,0.75"},
@@ -203,6 +253,7 @@ TEST(ScenarioFromSpec, ParsesEveryKey) {
   EXPECT_EQ(s.name, "sweep");
   ASSERT_EQ(s.algos.size(), 2u);
   EXPECT_EQ(s.algos[1], Algorithm::kDhc2);
+  EXPECT_EQ(s.model, ExecutionModel::kKMachine);
   EXPECT_EQ(s.family, GraphFamily::kGnm);
   EXPECT_EQ(s.sizes, (std::vector<std::int64_t>{128, 256}));
   EXPECT_EQ(s.deltas, (std::vector<double>{0.5, 0.75}));
@@ -211,6 +262,14 @@ TEST(ScenarioFromSpec, ParsesEveryKey) {
   EXPECT_EQ(s.bandwidth, 16);
   EXPECT_EQ(s.seeds, 7u);
   EXPECT_EQ(s.base_seed, 42u);
+}
+
+TEST(ScenarioFromSpec, KListIsAnAliasForMachines) {
+  const auto s = scenario_from_spec({{"model", "kmachine"}, {"k_list", "2,4,8"}});
+  EXPECT_EQ(s.machines, (std::vector<std::int64_t>{2, 4, 8}));
+  // Both aliases at once is ambiguous, in files and on the CLI alike.
+  EXPECT_THROW(scenario_from_spec({{"machines", "8"}, {"k_list", "2,4"}}),
+               std::invalid_argument);
 }
 
 TEST(ScenarioFromSpec, RejectsMalformedSpecs) {
@@ -267,6 +326,21 @@ TEST(ScenarioFromCli, FlagsOverrideDefaults) {
   EXPECT_EQ(s.deltas, (std::vector<double>{0.75}));
   EXPECT_EQ(s.seeds, 11u);
   EXPECT_EQ(s.base_seed, 5u);
+}
+
+TEST(ScenarioFromCli, ModelAndKFlagsSelectTheKMachineBackend) {
+  const char* argv[] = {"prog", "--model=kmachine", "--algos=turau", "--k=4,8",
+                        "--bandwidth=64"};
+  const support::Cli cli(5, argv);
+  const auto s = scenario_from_cli(cli);
+  EXPECT_EQ(s.model, ExecutionModel::kKMachine);
+  EXPECT_EQ(s.machines, (std::vector<std::int64_t>{4, 8}));
+  EXPECT_EQ(s.bandwidth, 64);
+  const auto trials = expand(s);
+  ASSERT_FALSE(trials.empty());
+  EXPECT_EQ(trials[0].model, ExecutionModel::kKMachine);
+  EXPECT_EQ(trials[0].algo, Algorithm::kTurau);
+  EXPECT_EQ(trials[0].machines, 4u);
 }
 
 TEST(ScenarioFromCli, RejectsMalformedFlags) {

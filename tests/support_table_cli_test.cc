@@ -69,6 +69,15 @@ TEST(Cli, ListFlags) {
   EXPECT_EQ(cli.get_int_list("absent", {7}), (std::vector<std::int64_t>{7}));
 }
 
+TEST(Cli, StringListFlags) {
+  const auto cli = make_cli({"--algos=dhc2,turau", "--empty=", "--holey=dhc2,,turau"});
+  EXPECT_EQ(cli.get_string_list("algos", {}),
+            (std::vector<std::string>{"dhc2", "turau"}));
+  EXPECT_EQ(cli.get_string_list("absent", {"dra"}), (std::vector<std::string>{"dra"}));
+  EXPECT_THROW(cli.get_string_list("empty", {}), std::invalid_argument);
+  EXPECT_THROW(cli.get_string_list("holey", {}), std::invalid_argument);
+}
+
 TEST(Cli, MalformedValuesThrow) {
   const auto cli = make_cli({"--n=abc", "--flag=maybe"});
   EXPECT_THROW(cli.get_int("n", 0), std::invalid_argument);

@@ -12,13 +12,17 @@
 //   --scenario=FILE   key = value scenario file; other flags override it
 //   --name=STR        scenario name recorded in the artifacts
 //   --algos=LIST      sequential|dra|dhc1|dhc2|upcast|collect-all|dhc2-kmachine|turau
+//   --model=STR       congest (default) | kmachine — kmachine runs every
+//                     selected algorithm through the k-machine execution
+//                     backend (paper §IV) and sweeps --k
 //   --family=STR      gnp|gnm|regular|powerlaw
 //   --sizes=LIST      graph sizes n
 //   --deltas=LIST     density exponents, p = c·ln n / n^delta
 //   --cs=LIST         density constants
 //   --merges=LIST     minforward|fullqueue (DHC2-based algorithms)
-//   --machines=LIST   k values for dhc2-kmachine
-//   --bandwidth=N     per-link messages/round for dhc2-kmachine
+//   --k=LIST          machine counts for --model=kmachine (aliases:
+//                     --machines, --k_list; also the legacy dhc2-kmachine)
+//   --bandwidth=N     per-link messages/round for the k-machine pricing
 //   --seeds=N         trials per configuration cell
 //   --seed=N          root seed
 //   --threads=N       worker-thread budget shared by trial- and
@@ -125,11 +129,14 @@ int main(int argc, char** argv) {
   try {
     const support::Cli cli(argc, argv);
     if (cli.has("help")) {
-      std::cout << "usage: dhc_run [--scenario=FILE] [--algos=...] [--sizes=...] "
-                   "[--deltas=...] [--cs=...] [--seeds=N] [--threads=N] [--json=PATH] "
-                   "[--csv=PATH]\nalgorithms: sequential|dra|dhc1|dhc2|upcast|collect-all|"
-                   "dhc2-kmachine|turau\nSee the header of tools/dhc_run.cc for the full flag "
-                   "list.\n";
+      std::cout << "usage: dhc_run [--scenario=FILE] [--algos=...] [--model=congest|kmachine] "
+                   "[--sizes=...] [--deltas=...] [--cs=...] [--k=...] [--bandwidth=N] "
+                   "[--seeds=N] [--threads=N] [--json=PATH] [--csv=PATH]\n"
+                   "algorithms: sequential|dra|dhc1|dhc2|upcast|collect-all|"
+                   "dhc2-kmachine|turau\n"
+                   "--model=kmachine prices any algorithm in the k-machine model "
+                   "(sweeps --k machine counts).\n"
+                   "See the header of tools/dhc_run.cc for the full flag list.\n";
       return EXIT_SUCCESS;
     }
     const std::string bench_spec = cli.get_string("bench", "");
