@@ -5,9 +5,19 @@
 // Θ(ln n' / ln ln n').  We measure exact diameters across n' and report the
 // ratio to ln n'/ln ln n' — the claim is a bounded, slowly varying constant.
 //
-// Flags: --sizes=..., --seeds=N, --c=X.
+// The instances come from the runner's scenario pipeline
+// (runner::make_trial_instance over an expanded Scenario), so this
+// experiment measures exactly the graphs every runner sweep solves — and for
+// sizes up to --dra_cap it also *runs* DRA on those same instances through
+// the trial runner, reporting the mean rounds of its "dra" phase (the
+// runner's new phase_dra_rounds stat) next to the diameter it should track.
+//
+// Flags: --sizes=..., --seeds=N, --c=X, --dra_cap=N (0 disables the DRA
+// column; default 1024), --threads=N.
 #include "bench_util.h"
 #include "graph/algorithms.h"
+#include "runner/aggregator.h"
+#include "runner/trial_runner.h"
 
 int main(int argc, char** argv) {
   using namespace dhc;
@@ -15,20 +25,58 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
   const double c = cli.get_double("c", 3.0);
   const auto sizes = cli.get_int_list("sizes", {64, 256, 1024, 4096});
+  const auto dra_cap = static_cast<graph::NodeId>(cli.get_int("dra_cap", 1024));
 
   bench::banner("EXP-D1",
                 "Chung-Lu [5] (used by Thm 1/10 round accounting): "
                 "diam G(n, c ln n / n) = Theta(ln n / ln ln n)",
                 "c = " + support::Table::num(c, 1) + ", seeds = " + std::to_string(seeds));
 
-  support::Table table({"n", "median diameter", "ln n/ln ln n", "ratio", "connected"});
+  // One scenario declares every instance of the experiment; the diameter
+  // pass and the DRA pass read the same expanded trial list, so they see
+  // bitwise-identical graphs (the runner's pairing guarantee).
+  runner::Scenario scenario;
+  scenario.name = "exp-d1-diameter";
+  scenario.algos = {runner::Algorithm::kDra};
+  scenario.family = runner::GraphFamily::kGnp;
+  scenario.sizes = sizes;
+  scenario.deltas = {1.0};
+  scenario.cs = {c};
+  scenario.seeds = seeds;
+  scenario.base_seed = 900;
+  const auto trials = runner::expand(scenario);
+
+  // DRA trials only below the cap: rotation walks on near-threshold-sparse
+  // graphs get slow well before exact_diameter does.
+  std::vector<runner::TrialConfig> dra_trials;
+  for (const auto& t : trials) {
+    if (dra_cap != 0 && t.n <= dra_cap) dra_trials.push_back(t);
+  }
+  runner::RunnerOptions opt;
+  opt.threads = static_cast<unsigned>(cli.get_int("threads", 1));
+  const auto dra_summaries =
+      runner::aggregate(dra_trials, runner::run_trials(dra_trials, opt));
+  const auto dra_rounds_for = [&](graph::NodeId n) -> double {
+    for (const auto& s : dra_summaries) {
+      if (s.config.n != n) continue;
+      const auto it = s.stat_means.find("phase_dra_rounds");
+      return it == s.stat_means.end() ? -1.0 : it->second;
+    }
+    return -1.0;
+  };
+
+  support::Table table(
+      {"n", "median diameter", "ln n/ln ln n", "ratio", "connected", "dra rounds"});
   std::vector<double> ratios;
   for (const auto size : sizes) {
     const auto n = static_cast<graph::NodeId>(size);
     std::vector<double> diams;
+    std::uint64_t cell_trials = 0;
     int connected = 0;
-    for (std::uint64_t s = 1; s <= seeds; ++s) {
-      const auto g = bench::make_instance(n, c, 1.0, s + 900);
+    for (const auto& t : trials) {
+      if (t.n != n) continue;
+      ++cell_trials;
+      const auto g = runner::make_trial_instance(t);
       if (!graph::is_connected(g)) continue;
       ++connected;
       diams.push_back(static_cast<double>(graph::exact_diameter(g)));
@@ -37,10 +85,12 @@ int main(int argc, char** argv) {
     const double med = support::quantile(diams, 0.5);
     const double theory = std::log(static_cast<double>(n)) / std::log(std::log(static_cast<double>(n)));
     ratios.push_back(med / theory);
+    const double dra_rounds = dra_rounds_for(n);
     table.add_row({support::Table::num(static_cast<std::uint64_t>(n)),
                    support::Table::num(med, 1), support::Table::num(theory, 2),
                    support::Table::num(med / theory, 2),
-                   std::to_string(connected) + "/" + std::to_string(seeds)});
+                   std::to_string(connected) + "/" + std::to_string(cell_trials),
+                   dra_rounds < 0.0 ? "-" : support::Table::num(dra_rounds, 0)});
   }
   table.print(std::cout);
 

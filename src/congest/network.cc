@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstdlib>
+#include <stdexcept>
+#include <type_traits>
 
+#include "support/quantile_sketch.h"
 #include "support/require.h"
 
 namespace dhc::congest {
@@ -36,30 +40,138 @@ std::uint64_t message_bits(const Message& msg, NodeId n) {
 std::uint64_t Metrics::max_node_messages_sent() const {
   std::uint64_t best = 0;
   for (const auto x : node_messages_sent) best = std::max(best, x);
+  for (const auto x : node_sent32) best = std::max<std::uint64_t>(best, x);
+  if (node_messages_sent.empty() && node_sent32.empty()) {
+    best = static_cast<std::uint64_t>(sent_summary.max);
+  }
   return best;
 }
 
 std::int64_t Metrics::max_node_peak_memory() const {
   std::int64_t best = 0;
   for (const auto x : node_peak_memory_words) best = std::max(best, x);
+  for (const auto x : node_mem_peak32) best = std::max<std::int64_t>(best, x);
+  if (node_peak_memory_words.empty() && node_mem_peak32.empty()) {
+    best = static_cast<std::int64_t>(peak_memory_summary.max);
+  }
   return best;
 }
 
 std::uint64_t Metrics::max_node_compute() const {
   std::uint64_t best = 0;
   for (const auto x : node_compute_ops) best = std::max(best, x);
+  for (const auto x : node_compute32) best = std::max<std::uint64_t>(best, x);
+  if (node_compute_ops.empty() && node_compute32.empty()) {
+    best = static_cast<std::uint64_t>(compute_summary.max);
+  }
   return best;
 }
 
-std::uint64_t Metrics::phase_rounds(const std::string& label) const {
-  for (std::size_t i = 0; i < phase_marks.size(); ++i) {
-    if (phase_marks[i].first == label) {
-      const std::uint64_t begin = phase_marks[i].second;
-      const std::uint64_t end = (i + 1 < phase_marks.size()) ? phase_marks[i + 1].second : rounds + 1;
-      return end > begin ? end - begin : 0;
+namespace {
+
+// Exact digest of a per-node vector: nearest-rank quantiles over a sorted
+// copy (kFull mode; runs once at the end of a run).
+template <class T>
+NodeStatSummary exact_summary(const std::vector<T>& values) {
+  NodeStatSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<T> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (const T v : sorted) sum += static_cast<double>(v);
+  s.sum = sum;
+  s.max = static_cast<double>(sorted.back());
+  const auto at = [&](double q) {
+    const auto rank = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(sorted.size() - 1),
+                         q * static_cast<double>(sorted.size() - 1) + 0.5));
+    return static_cast<double>(sorted[rank]);
+  };
+  s.p50 = at(0.50);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  return s;
+}
+
+// Sketch-backed digest (kStreaming mode): count/sum/max exact, quantiles
+// within support::QuantileSketch::relative_error().
+template <class T>
+NodeStatSummary sketch_summary(const std::vector<T>& values) {
+  NodeStatSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  support::QuantileSketch sketch;
+  for (const T v : values) {
+    if constexpr (std::is_signed_v<T>) {
+      sketch.add(v < 0 ? 0 : static_cast<std::uint64_t>(v));
+    } else {
+      sketch.add(v);
     }
   }
-  return 0;
+  s.sum = sketch.sum();
+  s.max = static_cast<double>(sketch.max());
+  s.p50 = sketch.quantile(0.50);
+  s.p95 = sketch.quantile(0.95);
+  s.p99 = sketch.quantile(0.99);
+  return s;
+}
+
+}  // namespace
+
+void Metrics::finalize_node_stats() {
+  switch (node_stats_mode) {
+    case NodeStatsMode::kFull:
+      sent_summary = exact_summary(node_messages_sent);
+      received_summary = exact_summary(node_messages_received);
+      peak_memory_summary = exact_summary(node_peak_memory_words);
+      compute_summary = exact_summary(node_compute_ops);
+      return;
+    case NodeStatsMode::kStreaming:
+      sent_summary = sketch_summary(node_sent32);
+      received_summary = NodeStatSummary{};  // intentionally not tracked
+      peak_memory_summary = sketch_summary(node_mem_peak32);
+      compute_summary = sketch_summary(node_compute32);
+      return;
+    case NodeStatsMode::kOff:
+      sent_summary = received_summary = peak_memory_summary = compute_summary =
+          NodeStatSummary{};
+      return;
+  }
+}
+
+std::uint64_t Metrics::phase_rounds(const std::string& label) const {
+  // A label may mark several spans (DHC2 re-marks "merge" every level); each
+  // span runs to the next mark, the last one to rounds + 1.  Sum them all.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < phase_marks.size(); ++i) {
+    if (phase_marks[i].first != label) continue;
+    const std::uint64_t begin = phase_marks[i].second;
+    const std::uint64_t end =
+        (i + 1 < phase_marks.size()) ? phase_marks[i + 1].second : rounds + 1;
+    if (end > begin) total += end - begin;
+  }
+  return total;
+}
+
+std::string to_string(NodeStatsMode mode) {
+  switch (mode) {
+    case NodeStatsMode::kFull:
+      return "full";
+    case NodeStatsMode::kStreaming:
+      return "streaming";
+    case NodeStatsMode::kOff:
+      return "off";
+  }
+  return "full";
+}
+
+NodeStatsMode parse_node_stats_mode(const std::string& s) {
+  if (s == "full") return NodeStatsMode::kFull;
+  if (s == "streaming") return NodeStatsMode::kStreaming;
+  if (s == "off") return NodeStatsMode::kOff;
+  throw std::invalid_argument("unknown node_stats mode '" + s +
+                              "' (expected full|streaming|off)");
 }
 
 // ---------------------------------------------------------------------------
@@ -70,6 +182,7 @@ Network::Network(const graph::Graph& g, NetworkConfig cfg) : graph_(&g), cfg_(cf
   DHC_REQUIRE(cfg_.edge_capacity >= 1, "edge_capacity must be at least 1");
   shards_ = cfg_.shards != 0 ? cfg_.shards : default_shards();
   shard_grain_ = cfg_.shard_grain != 0 ? cfg_.shard_grain : env_or("DHC_SHARD_GRAIN", 32);
+  node_stats_ = cfg_.node_stats;
   const std::size_t n = g.n();
   bits_per_word_ = std::max<std::uint64_t>(
       1, std::bit_width(std::uint64_t{n > 0 ? n - 1 : 0}));
@@ -127,6 +240,7 @@ void Network::wake_all() {
 
 void Network::mark_phase(const std::string& label) {
   metrics_.phase_marks.emplace_back(label, round_ + 1);
+  if (cfg_.trace != nullptr) cfg_.trace->on_phase(label, round_ + 1);
 }
 
 void Network::set_barrier_cost(std::uint64_t rounds_per_barrier) {
@@ -221,6 +335,7 @@ void Network::step_active_set(Protocol& protocol) {
   const bool shard_this_round = shards_ > 1 &&
                                 active_.size() >= static_cast<std::size_t>(shards_) * shard_grain_ &&
                                 protocol.parallel_step_safe();
+  last_round_sharded_ = shard_this_round;
   if (!shard_this_round) {
     for (const NodeId v : active_) {
       Context ctx(*this, v, nullptr);
@@ -242,13 +357,29 @@ void Network::step_sharded(Protocol& protocol) {
   }
   const std::size_t count = active_.size();
   const std::size_t s = shards_;
+  // Per-shard step timing for the flight recorder; the clocks run only when
+  // a sink is attached so untraced runs keep the exact pre-trace hot path.
+  const bool profile = cfg_.trace != nullptr;
+  if (profile && trace_shard_wall_ns_.size() != s) {
+    trace_shard_wall_ns_.assign(s, 0);
+    trace_shard_active_.assign(s, 0);
+  }
   pool_->run(s, [&](std::size_t shard_index) {
     ShardState& sh = shard_state_[shard_index];
     const std::size_t begin = count * shard_index / s;
     const std::size_t end = count * (shard_index + 1) / s;
+    const auto t0 = profile ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
     for (std::size_t i = begin; i < end; ++i) {
       Context ctx(*this, active_[i], &sh);
       protocol.step(ctx);
+    }
+    if (profile) {
+      trace_shard_wall_ns_[shard_index] = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      trace_shard_active_[shard_index] = static_cast<std::uint32_t>(end - begin);
     }
   });
   merge_shard_logs();
@@ -270,9 +401,15 @@ void Network::merge_shard_logs() {
       cfg_.observer->on_events({sh.events.data(), sh.events.size()});
       sh.events.clear();
     }
-    for (const Message& m : sh.outbox) {
-      metrics_.node_messages_received[m.to] += 1;
-      if (inbox_count_[m.to]++ == 0) next_active_.push_back(m.to);
+    if (node_stats_ == NodeStatsMode::kFull) {
+      for (const Message& m : sh.outbox) {
+        metrics_.node_messages_received[m.to] += 1;
+        if (inbox_count_[m.to]++ == 0) next_active_.push_back(m.to);
+      }
+    } else {
+      for (const Message& m : sh.outbox) {
+        if (inbox_count_[m.to]++ == 0) next_active_.push_back(m.to);
+      }
     }
     outbox_.insert(outbox_.end(), sh.outbox.begin(), sh.outbox.end());
     sh.outbox.clear();
@@ -281,16 +418,47 @@ void Network::merge_shard_logs() {
   }
 }
 
+void Network::emit_round_trace(std::uint64_t sent, std::uint64_t bits, std::uint64_t wakeups,
+                               std::uint64_t wall_ns) {
+  RoundTrace rt;
+  rt.round = round_;
+  rt.active = active_.size();
+  rt.sent = sent;
+  rt.bits = bits;
+  rt.wakeups = wakeups;
+  rt.wall_ns = wall_ns;
+  rt.sharded = last_round_sharded_;
+  if (last_round_sharded_ && trace_shard_wall_ns_.size() == shards_) {
+    rt.shard_wall_ns = {trace_shard_wall_ns_.data(), trace_shard_wall_ns_.size()};
+    rt.shard_active = {trace_shard_active_.data(), trace_shard_active_.size()};
+  }
+  cfg_.trace->on_round(rt);
+}
+
 Metrics Network::run(Protocol& protocol) {
   const std::size_t n = graph_->n();
   metrics_ = Metrics{};
-  metrics_.node_messages_sent.assign(n, 0);
-  metrics_.node_messages_received.assign(n, 0);
-  metrics_.node_memory_words.assign(n, 0);
-  metrics_.node_peak_memory_words.assign(n, 0);
-  metrics_.node_compute_ops.assign(n, 0);
+  metrics_.node_stats_mode = node_stats_;
+  switch (node_stats_) {
+    case NodeStatsMode::kFull:
+      metrics_.node_messages_sent.assign(n, 0);
+      metrics_.node_messages_received.assign(n, 0);
+      metrics_.node_memory_words.assign(n, 0);
+      metrics_.node_peak_memory_words.assign(n, 0);
+      metrics_.node_compute_ops.assign(n, 0);
+      break;
+    case NodeStatsMode::kStreaming:
+      metrics_.node_sent32.assign(n, 0);
+      metrics_.node_mem_cur32.assign(n, 0);
+      metrics_.node_mem_peak32.assign(n, 0);
+      metrics_.node_compute32.assign(n, 0);
+      break;
+    case NodeStatsMode::kOff:
+      break;
+  }
   round_ = 0;
   protocol_ = &protocol;
+  const bool tracing = cfg_.trace != nullptr;
 
   for (NodeId v = 0; v < graph_->n(); ++v) {
     Context ctx(*this, v, nullptr);
@@ -301,6 +469,7 @@ Metrics Network::run(Protocol& protocol) {
     if (outbox_.empty() && !any_wakeup_armed()) {
       if (!protocol.on_quiescence(*this)) break;
       metrics_.barrier_count += 1;
+      if (tracing) cfg_.trace->on_barrier(round_, metrics_.barrier_cost_rounds);
       DHC_CHECK(any_wakeup_armed(),
                 "protocol continued past quiescence without waking any node (would spin forever)");
       continue;
@@ -313,9 +482,26 @@ Metrics Network::run(Protocol& protocol) {
       break;
     }
 
-    deliver_and_build_active_set();
-
-    step_active_set(protocol);
+    if (tracing) {
+      // Counter snapshots bracket the round so the record carries this
+      // round's deltas; the wall clock runs only on this traced path.
+      const std::uint64_t msgs0 = metrics_.messages;
+      const std::uint64_t bits0 = metrics_.bits;
+      const auto t0 = std::chrono::steady_clock::now();
+      deliver_and_build_active_set();
+      const std::uint64_t wake0 = wheel_armed_ + far_wakeups_.size();
+      step_active_set(protocol);
+      const auto wall_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      const std::uint64_t wake1 = wheel_armed_ + far_wakeups_.size();
+      emit_round_trace(metrics_.messages - msgs0, metrics_.bits - bits0,
+                       wake1 > wake0 ? wake1 - wake0 : 0, wall_ns);
+    } else {
+      deliver_and_build_active_set();
+      step_active_set(protocol);
+    }
 
     for (const NodeId v : active_) {
       inbox_len_[v] = 0;
@@ -324,6 +510,7 @@ Metrics Network::run(Protocol& protocol) {
   }
 
   metrics_.rounds = round_;
+  metrics_.finalize_node_stats();
   protocol_ = nullptr;
   return metrics_;
 }

@@ -47,6 +47,7 @@
 
 #include "congest/message.h"
 #include "congest/metrics.h"
+#include "congest/trace_sink.h"
 #include "graph/graph.h"
 #include "support/require.h"
 #include "support/rng.h"
@@ -125,6 +126,17 @@ struct NetworkConfig {
   /// pool; smaller rounds step sequentially (identical results, no dispatch
   /// overhead).  0 resolves DHC_SHARD_GRAIN (absent/invalid → 32).
   std::uint32_t shard_grain = 0;
+
+  /// Optional flight-recorder sink fed one RoundTrace per executed round
+  /// plus phase/barrier marks (not owned; must outlive the run).  Per-round
+  /// wall clocks are read only when a sink is attached, so tracing off has
+  /// zero timing overhead.
+  TraceSink* trace = nullptr;
+
+  /// Per-node accounting mode (congest/metrics.h).  kFull is the classic
+  /// exact-vector mode every golden test pins; kStreaming trades exact
+  /// per-node vectors for compact accumulators + quantile summaries.
+  NodeStatsMode node_stats = NodeStatsMode::kFull;
 };
 
 class Network;
@@ -265,6 +277,8 @@ class Network {
   void step_active_set(Protocol& protocol);
   void step_sharded(Protocol& protocol);
   void merge_shard_logs();
+  void emit_round_trace(std::uint64_t sent, std::uint64_t bits, std::uint64_t wakeups,
+                        std::uint64_t wall_ns);
   std::uint64_t next_armed_round() const;
   void arm_wakeup(NodeId v, std::uint64_t delay);
   bool any_wakeup_armed() const { return wheel_armed_ != 0 || !far_wakeups_.empty(); }
@@ -282,6 +296,7 @@ class Network {
   NetworkConfig cfg_;
   std::uint32_t shards_ = 1;       // resolved shard count
   std::uint32_t shard_grain_ = 32;  // resolved min active nodes per shard
+  NodeStatsMode node_stats_ = NodeStatsMode::kFull;  // hoisted out of cfg_ for the send path
   std::uint64_t round_ = 0;
   Protocol* protocol_ = nullptr;
   std::uint64_t bits_per_word_ = 1;  // ⌈log₂ n⌉, hoisted out of the send path
@@ -313,6 +328,12 @@ class Network {
 
   std::vector<ShardState> shard_state_;          // size shards_ when sharding
   std::unique_ptr<support::WorkerPool> pool_;    // created on first sharded round
+
+  // Shard-profiling scratch for the flight recorder (filled by step_sharded
+  // only when a trace sink is attached; the RoundTrace spans point here).
+  bool last_round_sharded_ = false;
+  std::vector<std::uint64_t> trace_shard_wall_ns_;
+  std::vector<std::uint32_t> trace_shard_active_;
 
   std::vector<support::Rng> rngs_;
   Metrics metrics_;
@@ -350,11 +371,18 @@ inline void Network::commit_send(ShardState* sh, NodeId from, NodeId to,
   }
   DHC_CHECK(msg.words <= kMaxWords, "message exceeds payload word limit");
 
-  metrics_.node_messages_sent[from] += 1;
+  // Sender-side accounting: node_messages_sent[from] (and its compact
+  // streaming twin) is owned by the sending node, hence by exactly one
+  // shard — no atomics needed in any mode.
+  if (node_stats_ == NodeStatsMode::kFull) {
+    metrics_.node_messages_sent[from] += 1;
+  } else if (node_stats_ == NodeStatsMode::kStreaming) {
+    metrics_.node_sent32[from] += 1;
+  }
   if (sh == nullptr) {
     metrics_.messages += 1;
     metrics_.bits += message_bits_for(msg.words, bits_per_word_);
-    metrics_.node_messages_received[to] += 1;
+    if (node_stats_ == NodeStatsMode::kFull) metrics_.node_messages_received[to] += 1;
     if (cfg_.observer != nullptr) cfg_.observer->on_send(from, to, round_);
     if (inbox_count_[to]++ == 0) next_active_.push_back(to);
     Message& slot = outbox_.emplace_back(msg);
@@ -413,14 +441,28 @@ inline void Context::wake_in(std::uint64_t delay) {
 inline support::Rng& Context::rng() { return net_.node_rng(self_); }
 
 inline void Context::charge_memory(std::int64_t words) {
-  auto& mem = net_.metrics_.node_memory_words[self_];
-  mem += words;
-  auto& peak = net_.metrics_.node_peak_memory_words[self_];
-  peak = std::max(peak, mem);
+  if (net_.node_stats_ == NodeStatsMode::kFull) {
+    auto& mem = net_.metrics_.node_memory_words[self_];
+    mem += words;
+    auto& peak = net_.metrics_.node_peak_memory_words[self_];
+    peak = std::max(peak, mem);
+  } else if (net_.node_stats_ == NodeStatsMode::kStreaming) {
+    auto& mem = net_.metrics_.node_mem_cur32[self_];
+    mem = static_cast<std::int32_t>(mem + words);
+    auto& peak = net_.metrics_.node_mem_peak32[self_];
+    peak = std::max(peak, mem);
+  }
 }
 
 inline void Context::charge_compute(std::uint64_t ops) {
-  net_.metrics_.node_compute_ops[self_] += ops;
+  if (net_.node_stats_ == NodeStatsMode::kFull) {
+    net_.metrics_.node_compute_ops[self_] += ops;
+  } else if (net_.node_stats_ == NodeStatsMode::kStreaming) {
+    // Saturating: compute is charged in arbitrary-size chunks.
+    auto& acc = net_.metrics_.node_compute32[self_];
+    const std::uint64_t next = acc + ops;
+    acc = next > 0xffffffffull ? 0xffffffffu : static_cast<std::uint32_t>(next);
+  }
 }
 
 }  // namespace dhc::congest

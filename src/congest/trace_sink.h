@@ -1,0 +1,68 @@
+// Flight-recorder tap on a CONGEST execution.
+//
+// TraceSink is to per-round observability what MessageObserver is to
+// per-message pricing: an abstract interface the simulator (and the
+// k-machine pricing observer) feed, so congest/ never depends on how traces
+// are stored or serialized.  The concrete recorder — NDJSON schema, phase
+// spans, Chrome export — lives in src/trace/.
+//
+// Determinism contract: every field the simulator reports here is a pure
+// function of (graph, seed, protocol) EXCEPT the wall-clock fields
+// (RoundTrace::wall_ns, shard_wall_ns), and every counter is additionally
+// shard-invariant (the sharded round engine reproduces the sequential
+// execution bitwise; the only shard-dependent fields are the explicitly
+// shard-profiling ones: `sharded`, `shard_active`, `shard_wall_ns`).
+// Writers isolate those two field classes so traces can be compared bitwise
+// across repeated runs and across shard counts (trace/recorder.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dhc::congest {
+
+/// One simulated round, as reported to a TraceSink after the round stepped.
+struct RoundTrace {
+  std::uint64_t round = 0;    ///< Round index (1-based, matches Metrics).
+  std::uint64_t active = 0;   ///< Nodes stepped this round.
+  std::uint64_t sent = 0;     ///< Messages sent by this round's steps.
+  std::uint64_t bits = 0;     ///< Payload bits of those messages.
+  std::uint64_t wakeups = 0;  ///< Wake-ups armed by this round's steps.
+  /// Wall-clock of delivery + stepping, nanoseconds.  The only
+  /// nondeterministic fields of the record are this and shard_wall_ns.
+  std::uint64_t wall_ns = 0;
+  /// True when the round ran on the shard engine (shard-profiling field).
+  bool sharded = false;
+  /// Per-shard step wall-time / active-node counts; empty unless `sharded`.
+  /// Views into simulator-owned storage, valid only during the callback.
+  std::span<const std::uint64_t> shard_wall_ns;
+  std::span<const std::uint32_t> shard_active;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A phase mark: rounds from `first_round` until the next mark belong to
+  /// `label` (mirrors Metrics::phase_marks).
+  virtual void on_phase(const std::string& label, std::uint64_t first_round) = 0;
+
+  /// Called once per executed round, after its steps ran.
+  virtual void on_round(const RoundTrace& t) = 0;
+
+  /// A quiescence barrier after `round`, charged `charge_rounds` rounds.
+  virtual void on_barrier(std::uint64_t round, std::uint64_t charge_rounds) = 0;
+
+  /// A completed k-machine-priced CONGEST round: its busiest link load and
+  /// the ⌈busiest/bandwidth⌉ charge (fed by kmachine::KMachineCost, not the
+  /// simulator; default no-op so CONGEST-only sinks need not care).
+  virtual void on_kround(std::uint64_t congest_round, std::uint64_t busiest_link,
+                         std::uint64_t charge) {
+    (void)congest_round;
+    (void)busiest_link;
+    (void)charge;
+  }
+};
+
+}  // namespace dhc::congest

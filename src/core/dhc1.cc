@@ -696,6 +696,8 @@ Result run_dhc1(const graph::Graph& g, std::uint64_t seed, const Dhc1Config& cfg
   net_cfg.seed = seed;
   net_cfg.observer = cfg.observer;
   net_cfg.shards = cfg.shards;
+  net_cfg.trace = cfg.trace;
+  net_cfg.node_stats = cfg.node_stats;
   congest::Network net(g, net_cfg);
   Dhc1Protocol protocol(n, num_colors, cfg);
   result.metrics = net.run(protocol);

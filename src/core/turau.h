@@ -58,6 +58,12 @@ struct TurauConfig {
   /// environment default; results are bitwise identical for every value —
   /// see congest::NetworkConfig::shards).
   std::uint32_t shards = 0;
+
+  /// Optional flight-recorder sink (not owned, must outlive the run).
+  congest::TraceSink* trace = nullptr;
+
+  /// Per-node accounting mode (full vectors / streaming digests / off).
+  congest::NodeStatsMode node_stats = congest::NodeStatsMode::kFull;
 };
 
 /// Runs Turau's algorithm end to end.  On success the cycle is in the

@@ -280,6 +280,8 @@ Result run_upcast(const graph::Graph& g, std::uint64_t seed, const UpcastConfig&
   net_cfg.seed = seed;
   net_cfg.observer = cfg.observer;
   net_cfg.shards = cfg.shards;
+  net_cfg.trace = cfg.trace;
+  net_cfg.node_stats = cfg.node_stats;
   congest::Network net(g, net_cfg);
   UpcastProtocol protocol(g.n(), cfg);
   result.metrics = net.run(protocol);

@@ -46,6 +46,12 @@ struct UpcastConfig {
   /// environment default; results are bitwise identical for every value —
   /// see congest::NetworkConfig::shards).
   std::uint32_t shards = 0;
+
+  /// Optional flight-recorder sink (not owned, must outlive the run).
+  congest::TraceSink* trace = nullptr;
+
+  /// Per-node accounting mode (full vectors / streaming digests / off).
+  congest::NodeStatsMode node_stats = congest::NodeStatsMode::kFull;
 };
 
 /// Runs Upcast (or CollectAll) end to end.  Stats include "root_edges",

@@ -27,7 +27,9 @@ void KMachineCost::flush_round() {
     round_load_[link] = 0;
   }
   if (busiest > 0) {
-    rounds_accum_ += (busiest + bandwidth_ - 1) / bandwidth_;
+    const std::uint64_t charge = (busiest + bandwidth_ - 1) / bandwidth_;
+    rounds_accum_ += charge;
+    if (trace_ != nullptr) trace_->on_kround(current_round_, busiest, charge);
   }
   touched_links_.clear();
 }
@@ -130,9 +132,11 @@ KMachineOutcome run_kmachine(const CongestAlgorithm& algo, const graph::Graph& g
   DHC_REQUIRE(algo != nullptr, "run_kmachine needs an algorithm");
   const std::uint64_t partition_seed = cfg.partition_seed != 0 ? cfg.partition_seed : seed;
   KMachineCost cost(g.n(), cfg.k, cfg.bandwidth, partition_seed);
+  cost.set_trace(cfg.trace);
 
   KMachineOutcome out;
   out.result = algo(g, seed, &cost, cfg.shards);
+  cost.finish();
 
   out.report.k = cfg.k;
   out.report.bandwidth = cfg.bandwidth;

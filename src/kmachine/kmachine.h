@@ -63,6 +63,17 @@ class KMachineCost : public congest::MessageObserver {
 
   void on_send(NodeId from, NodeId to, std::uint64_t round) override;
 
+  /// Attach a flight-recorder sink: every completed CONGEST round with
+  /// cross-machine traffic emits one on_kround(round, busiest, charge)
+  /// event as it is priced.  Not owned; must outlive the run.
+  void set_trace(congest::TraceSink* trace) { trace_ = trace; }
+
+  /// Flushes the final in-progress round so its kround event reaches the
+  /// trace sink (rounds normally flush when the *next* round's first send
+  /// arrives — the last one has no successor).  Idempotent; kmachine_rounds()
+  /// stays correct whether or not this ran.
+  void finish() { flush_round(); }
+
   /// Merged-event-log pricing: one virtual call per shard log instead of one
   /// per message (the k-machine conversion rides the simulator's hottest
   /// path, so the batch entry point matters).
@@ -103,6 +114,7 @@ class KMachineCost : public congest::MessageObserver {
   std::uint64_t cross_messages_ = 0;
   std::uint64_t local_messages_ = 0;
   std::uint64_t busiest_link_peak_ = 0;
+  congest::TraceSink* trace_ = nullptr;
 };
 
 /// What one k-machine execution cost.
@@ -152,6 +164,10 @@ struct KMachineConfig {
   /// the sequential send order, so the price is shard-invariant (pinned by
   /// kmachine_test).
   std::uint32_t shards = 0;
+  /// Optional flight-recorder sink for per-round pricing events (kround
+  /// lines).  Network-level tracing rides the algorithm's base config; this
+  /// one feeds the pricing observer.  Not owned, must outlive the run.
+  congest::TraceSink* trace = nullptr;
 };
 
 /// The backend's full answer: the conversion pricing plus the underlying

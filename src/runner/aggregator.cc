@@ -74,6 +74,7 @@ std::vector<ConfigSummary> aggregate(const std::vector<TrialConfig>& trials,
     TrialConfig config;
     std::vector<double> rounds, messages, bits, memory;
     std::map<std::string, double> stat_sums;
+    std::vector<std::string> trace_files;
     std::uint64_t trials = 0;
     std::uint64_t successes = 0;
     double wall = 0.0;
@@ -101,6 +102,7 @@ std::vector<ConfigSummary> aggregate(const std::vector<TrialConfig>& trials,
     }
     ++g.trials;
     g.wall += r.wall_seconds;
+    if (!r.trace_file.empty()) g.trace_files.push_back(r.trace_file);
     for (const auto& [key, value] : r.stats) g.stat_sums[key] += value;
     if (!r.success) continue;
     ++g.successes;
@@ -127,6 +129,7 @@ std::vector<ConfigSummary> aggregate(const std::vector<TrialConfig>& trials,
       s.stat_means[key] = sum / static_cast<double>(g.trials);
     }
     s.wall_seconds_total = g.wall;
+    s.trace_files = std::move(g.trace_files);
     out.push_back(std::move(s));
   }
   return out;
@@ -184,7 +187,15 @@ void write_json(std::ostream& os, const std::string& scenario_name,
       os << (first ? "" : ", ") << '"' << json_escape(key) << "\": " << fmt_num(value);
       first = false;
     }
-    os << "}\n    }";
+    os << '}';
+    if (!s.trace_files.empty()) {
+      os << ",\n      \"trace_files\": [";
+      for (std::size_t j = 0; j < s.trace_files.size(); ++j) {
+        os << (j == 0 ? "" : ", ") << '"' << json_escape(s.trace_files[j]) << '"';
+      }
+      os << ']';
+    }
+    os << "\n    }";
   }
   os << "\n  ]\n}\n";
 }

@@ -46,6 +46,10 @@ struct ConfigSummary {
   std::map<std::string, double> stat_means;
   /// Sum of per-trial wall clocks; informational, never serialized.
   double wall_seconds_total = 0.0;
+  /// Flight-recorder trace files of the cell's trials, in trial order; empty
+  /// when tracing was off.  Serialized into the JSON artifact (after
+  /// "stats") only when non-empty, so untraced artifacts are unchanged.
+  std::vector<std::string> trace_files;
 };
 
 /// Groups `results` by trials[i].config_index and reduces each group.

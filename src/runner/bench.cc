@@ -90,6 +90,47 @@ std::vector<BenchPreset> make_presets() {
     presets.push_back(std::move(p));
   }
   {
+    // Memory-probe pair: one node-count-dominated cell run twice, once per
+    // node-stats mode.  The only difference between the two presets is the
+    // accounting mode, so the peak_rss_kb delta in the artifact is the
+    // measured cost of full per-node accounting (40 B/node plus arena slack)
+    // over the streaming accumulators (16 B/node).  The instance is a huge
+    // *sub-connectivity* G(n, m) (mean degree ~1): Turau floods its sparse
+    // setup and then aborts gracefully on the disconnect, so per-round
+    // message volume stays tiny and the per-node accounting dominates the
+    // footprint — at n = 2^21 the measured drop is ~100 MB (~11%).  The 0/1
+    // success in the artifact is by design; the probe measures allocation,
+    // not solving.
+    BenchPreset p;
+    p.name = "mem-probe-full";
+    p.description = "turau at n=2^21 (instant abort), full per-node stats (RSS probe)";
+    p.scenario.name = "bench-mem-probe-full";
+    p.scenario.algos = {Algorithm::kTurau};
+    p.scenario.family = GraphFamily::kGnm;
+    p.scenario.sizes = {2097152};
+    p.scenario.deltas = {1.0};
+    p.scenario.cs = {0.07};
+    p.scenario.seeds = 1;
+    p.scenario.base_seed = 804;
+    p.scenario.node_stats = congest::NodeStatsMode::kFull;
+    presets.push_back(std::move(p));
+  }
+  {
+    BenchPreset p;
+    p.name = "mem-probe-streaming";
+    p.description = "turau at n=2^21 (instant abort), streaming per-node stats (RSS probe)";
+    p.scenario.name = "bench-mem-probe-streaming";
+    p.scenario.algos = {Algorithm::kTurau};
+    p.scenario.family = GraphFamily::kGnm;
+    p.scenario.sizes = {2097152};
+    p.scenario.deltas = {1.0};
+    p.scenario.cs = {0.07};
+    p.scenario.seeds = 1;
+    p.scenario.base_seed = 804;
+    p.scenario.node_stats = congest::NodeStatsMode::kStreaming;
+    presets.push_back(std::move(p));
+  }
+  {
     // CI-sized smoke preset: every solver once, small n, a few seconds.
     BenchPreset p;
     p.name = "perf-smoke";
@@ -162,6 +203,12 @@ long read_rss_hwm_kb() {
 BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions& opt) {
   BenchMeasurement m;
   m.name = preset.name;
+  m.node_stats = congest::to_string(preset.scenario.node_stats);
+
+  // The preset's frozen scenario owns the accounting mode (the mem-probe
+  // pair differs only there); everything else comes from the caller.
+  RunnerOptions run_opt = opt;
+  run_opt.node_stats = preset.scenario.node_stats;
 
   const auto trials = expand(preset.scenario);
   m.trials = trials.size();
@@ -173,13 +220,19 @@ BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions
 
   const bool per_preset_rss = reset_rss_peak();
   const auto start = std::chrono::steady_clock::now();
-  const auto results = run_trials(trials, opt, par);
+  const auto results = run_trials(trials, run_opt, par);
   m.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
   for (const auto& r : results) {
     if (r.success) ++m.successes;
     m.messages_total += static_cast<std::uint64_t>(r.messages);
+    for (const auto& [key, value] : r.stats) {
+      if (key.rfind("phase_", 0) == 0) m.phase_rounds_mean[key] += value;
+    }
+  }
+  if (!results.empty()) {
+    for (auto& [key, sum] : m.phase_rounds_mean) sum /= static_cast<double>(results.size());
   }
   if (m.wall_seconds > 0.0) {
     m.trials_per_sec = static_cast<double>(m.trials) / m.wall_seconds;
@@ -191,7 +244,7 @@ BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions
 
 void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& measurements,
                       unsigned threads, std::uint32_t shards) {
-  os << "{\n  \"bench\": \"congest\",\n  \"schema\": 2,\n  \"threads\": " << threads
+  os << "{\n  \"bench\": \"congest\",\n  \"schema\": 3,\n  \"threads\": " << threads
      << ",\n  \"shards\": " << shards << ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < measurements.size(); ++i) {
     const auto& m = measurements[i];
@@ -201,8 +254,14 @@ void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& mea
        << ", \"trials_per_sec\": " << m.trials_per_sec
        << ", \"messages_total\": " << m.messages_total
        << ", \"messages_per_sec\": " << m.messages_per_sec
-       << ", \"peak_rss_kb\": " << m.peak_rss_kb << "}" << (i + 1 < measurements.size() ? "," : "")
-       << "\n";
+       << ", \"peak_rss_kb\": " << m.peak_rss_kb
+       << ", \"node_stats\": \"" << m.node_stats << "\", \"phases\": {";
+    bool first = true;
+    for (const auto& [key, value] : m.phase_rounds_mean) {
+      os << (first ? "" : ", ") << '"' << key << "\": " << value;
+      first = false;
+    }
+    os << "}}" << (i + 1 < measurements.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }

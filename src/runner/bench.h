@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -59,16 +60,23 @@ struct BenchMeasurement {
   /// before the preset runs).  Falls back to the monotone getrusage maximum
   /// on systems without the proc interface.
   long peak_rss_kb = 0;
+  /// The preset's per-node accounting mode (from its scenario) — the knob
+  /// the mem-probe preset pair varies, so the artifact is self-describing.
+  std::string node_stats = "full";
+  /// Mean rounds per phase label over all trials (the runner's
+  /// phase_<label>_rounds stats) — the per-preset phase/wall breakdown.
+  std::map<std::string, double> phase_rounds_mean;
 };
 
 /// Expands and runs one preset, timing the run_trials() call only (scenario
 /// expansion and artifact writing are excluded).
 BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions& opt);
 
-/// BENCH_congest.json: {"bench": "congest", "schema": 2, "threads": T,
+/// BENCH_congest.json: {"bench": "congest", "schema": 3, "threads": T,
 /// "shards": S, "scenarios": [...]} where threads/shards are the requested
 /// options (shards 0 = auto) and every scenario records the resolved
-/// per-preset split.  Field order is fixed so runs diff cleanly.
+/// per-preset split, its node_stats mode, and a "phases" map of mean rounds
+/// per phase label.  Field order is fixed so runs diff cleanly.
 void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& measurements,
                       unsigned threads, std::uint32_t shards);
 

@@ -297,6 +297,8 @@ Scenario scenario_from_spec(const std::map<std::string, std::string>& spec) {
       s.seeds = static_cast<std::uint64_t>(parse_int(key, value));
     } else if (key == "seed") {
       s.base_seed = static_cast<std::uint64_t>(parse_int(key, value));
+    } else if (key == "node_stats") {
+      s.node_stats = congest::parse_node_stats_mode(value);
     } else {
       throw std::invalid_argument("unknown scenario key '" + key + "'");
     }
@@ -374,6 +376,9 @@ Scenario scenario_from_cli(const support::Cli& cli) {
   if (cli.has("bandwidth")) s.bandwidth = cli.get_int("bandwidth", s.bandwidth);
   if (cli.has("seeds")) s.seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 0));
   if (cli.has("seed")) s.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 0));
+  if (cli.has("node_stats")) {
+    s.node_stats = congest::parse_node_stats_mode(cli.get_string("node_stats", ""));
+  }
   s.validate();
   return s;
 }

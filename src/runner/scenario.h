@@ -91,6 +91,11 @@ struct Scenario {
   std::uint64_t seeds = 5;
   /// Root seed; every trial's graph/algorithm seeds are derived from it.
   std::uint64_t base_seed = 1;
+  /// Per-node accounting mode for every CONGEST trial (spec key
+  /// `node_stats`: full | streaming | off).  Streaming keeps fixed-size
+  /// digests instead of the five per-node vectors — the large-n mode.
+  /// Headline metrics are identical in every mode.
+  congest::NodeStatsMode node_stats = congest::NodeStatsMode::kFull;
 
   /// Throws std::invalid_argument when any field is out of range (empty
   /// lists, δ outside (0, 1], n < 4, seeds == 0, ...).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <fstream>
+#include <stdexcept>
 
 #include "core/dhc1.h"
 #include "core/dhc2.h"
@@ -16,6 +18,7 @@
 #include "kmachine/kmachine.h"
 #include "support/rng.h"
 #include "support/worker_pool.h"
+#include "trace/recorder.h"
 
 namespace dhc::runner {
 
@@ -69,6 +72,21 @@ void fill_from_result(TrialResult& out, core::Result& r) {
   out.barriers = static_cast<double>(r.metrics.barrier_count);
   out.accounted_rounds = static_cast<double>(r.metrics.accounted_rounds());
   out.stats = std::move(r.stats);
+
+  // Observability passthrough: the barrier/phase accounting and the per-node
+  // sent-distribution digest become stat_ columns in every artifact.
+  out.stats["barrier_count"] = static_cast<double>(r.metrics.barrier_count);
+  out.stats["accounted_rounds"] = static_cast<double>(r.metrics.accounted_rounds());
+  for (const auto& [label, from_round] : r.metrics.phase_marks) {
+    const std::string key = "phase_" + label + "_rounds";
+    if (out.stats.contains(key)) continue;  // repeated labels: one summed entry
+    out.stats[key] = static_cast<double>(r.metrics.phase_rounds(label));
+  }
+  if (r.metrics.sent_summary.count > 0) {
+    out.stats["node_sent_p50"] = r.metrics.sent_summary.p50;
+    out.stats["node_sent_p95"] = r.metrics.sent_summary.p95;
+    out.stats["node_sent_p99"] = r.metrics.sent_summary.p99;
+  }
 }
 
 // Instance facts recorded for every trial, whatever the model or solver;
@@ -94,27 +112,47 @@ void verify_incidence(TrialResult& out, const graph::Graph& g,
 // shared by both execution models so a congest and a k-machine run of the
 // same cell can never drift apart.  kSequential is not a CONGEST
 // algorithm: returns null.
-kmachine::CongestAlgorithm congest_algorithm_for(const TrialConfig& t) {
+kmachine::CongestAlgorithm congest_algorithm_for(const TrialConfig& t,
+                                                 congest::TraceSink* trace,
+                                                 congest::NodeStatsMode node_stats) {
+  // The adapters overwrite only (observer, shards), so the flight-recorder
+  // sink and the node-stats mode ride in the base configs.
   switch (t.algo) {
     case Algorithm::kSequential:
       return nullptr;
-    case Algorithm::kDra:
-      return kmachine::dra_algorithm();
-    case Algorithm::kDhc1:
-      return kmachine::dhc1_algorithm();
+    case Algorithm::kDra: {
+      core::DraConfig cfg;
+      cfg.trace = trace;
+      cfg.node_stats = node_stats;
+      return kmachine::dra_algorithm(cfg);
+    }
+    case Algorithm::kDhc1: {
+      core::Dhc1Config cfg;
+      cfg.trace = trace;
+      cfg.node_stats = node_stats;
+      return kmachine::dhc1_algorithm(cfg);
+    }
     case Algorithm::kDhc2:
     case Algorithm::kDhc2KMachine: {
       core::Dhc2Config cfg;
       cfg.delta = t.delta;
       cfg.merge_strategy = t.merge;
+      cfg.trace = trace;
+      cfg.node_stats = node_stats;
       return kmachine::dhc2_algorithm(cfg);
     }
-    case Algorithm::kTurau:
-      return kmachine::turau_algorithm();
+    case Algorithm::kTurau: {
+      core::TurauConfig cfg;
+      cfg.trace = trace;
+      cfg.node_stats = node_stats;
+      return kmachine::turau_algorithm(cfg);
+    }
     case Algorithm::kUpcast:
     case Algorithm::kCollectAll: {
       core::UpcastConfig cfg;
       cfg.collect_all = t.algo == Algorithm::kCollectAll;
+      cfg.trace = trace;
+      cfg.node_stats = node_stats;
       return kmachine::upcast_algorithm(cfg);
     }
   }
@@ -127,8 +165,9 @@ kmachine::CongestAlgorithm congest_algorithm_for(const TrialConfig& t) {
 // headline `rounds` are the converted k-machine rounds; the raw CONGEST
 // rounds and the full pricing report land in stats.
 void run_kmachine_trial(TrialResult& out, const graph::Graph& g, const TrialConfig& t,
-                        bool verify, std::uint32_t shards) {
-  const kmachine::CongestAlgorithm algo = congest_algorithm_for(t);
+                        const TrialOptions& opt, trace::TraceRecorder* rec) {
+  const bool verify = opt.verify;
+  const kmachine::CongestAlgorithm algo = congest_algorithm_for(t, rec, opt.node_stats);
   if (algo == nullptr) {
     out.failure_reason =
         "sequential has no CONGEST execution to price in the k-machine model";
@@ -139,8 +178,10 @@ void run_kmachine_trial(TrialResult& out, const graph::Graph& g, const TrialConf
   kcfg.k = t.machines;
   kcfg.bandwidth = t.bandwidth;
   kcfg.partition_seed = t.algo_seed;
-  kcfg.shards = shards;
+  kcfg.shards = opt.shards;
+  kcfg.trace = rec;
   auto priced = kmachine::run_kmachine(algo, g, t.algo_seed, kcfg);
+  if (rec != nullptr) rec->finalize(priced.result.metrics);
   fill_from_result(out, priced.result);
   out.rounds = static_cast<double>(priced.report.kmachine_rounds);
   out.stats["congest_rounds"] = static_cast<double>(priced.report.congest_rounds);
@@ -151,12 +192,40 @@ void run_kmachine_trial(TrialResult& out, const graph::Graph& g, const TrialConf
   if (verify) verify_incidence(out, g, priced.result.cycle);
 }
 
-TrialResult run_trial_unchecked(const TrialConfig& t, bool verify, std::uint32_t shards) {
+TrialResult run_trial_unchecked(const TrialConfig& t, const TrialOptions& opt) {
+  const bool verify = opt.verify;
+  const std::uint32_t shards = opt.shards;
   TrialResult out;
   const graph::Graph g = make_trial_instance(t);
 
+  // Sequential trials have no network to tap; everything else records when a
+  // trace directory is set.
+  const bool tracing = !opt.trace_dir.empty() && t.algo != Algorithm::kSequential;
+  trace::TraceRecorder recorder;
+  trace::TraceRecorder* rec = tracing ? &recorder : nullptr;
+  if (rec != nullptr) {
+    trace::TraceMeta meta;
+    meta.algo = to_string(t.algo);
+    meta.model = to_string(t.model);
+    meta.family = to_string(t.family);
+    meta.merge = to_string(t.merge);
+    meta.n = t.n;
+    meta.m = g.m();
+    meta.delta = t.delta;
+    meta.c = t.c;
+    meta.graph_seed = t.graph_seed;
+    meta.algo_seed = t.algo_seed;
+    meta.machines = t.machines;
+    meta.bandwidth = t.bandwidth;
+    meta.shards = shards != 0 ? shards : congest::default_shards();
+    meta.node_stats = congest::to_string(opt.node_stats);
+    meta.config_index = t.config_index;
+    meta.trial_index = t.trial_index;
+    recorder.set_meta(std::move(meta));
+  }
+
   if (t.model == ExecutionModel::kKMachine || t.algo == Algorithm::kDhc2KMachine) {
-    run_kmachine_trial(out, g, t, verify, shards);
+    run_kmachine_trial(out, g, t, opt, rec);
   } else if (t.algo == Algorithm::kSequential) {
     support::Rng rng(t.algo_seed);
     const auto r = core::rotation_hamiltonian_cycle(g, rng);
@@ -176,22 +245,42 @@ TrialResult run_trial_unchecked(const TrialConfig& t, bool verify, std::uint32_t
   } else {
     // Plain CONGEST execution, through the same adapter the k-machine path
     // uses (no observer attached).
-    auto r = congest_algorithm_for(t)(g, t.algo_seed, /*observer=*/nullptr, shards);
+    auto r = congest_algorithm_for(t, rec, opt.node_stats)(g, t.algo_seed,
+                                                           /*observer=*/nullptr, shards);
+    if (rec != nullptr) rec->finalize(r.metrics);
     fill_from_result(out, r);
     if (verify) verify_incidence(out, g, r.cycle);
   }
 
   add_instance_stats(out, g, t);
+
+  if (rec != nullptr && rec->finalized()) {
+    rec->set_outcome(out.success, out.failure_reason);
+    const std::string path = opt.trace_dir + "/trace_c" + std::to_string(t.config_index) +
+                             "_t" + std::to_string(t.trial_index) + ".ndjson";
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    rec->write_ndjson(os);
+    os.flush();
+    if (!os) throw std::runtime_error("cannot write trace file '" + path + "'");
+    out.trace_file = path;
+  }
   return out;
 }
 
 }  // namespace
 
 TrialResult run_trial(const TrialConfig& t, bool verify, std::uint32_t shards) {
+  TrialOptions opt;
+  opt.verify = verify;
+  opt.shards = shards;
+  return run_trial(t, opt);
+}
+
+TrialResult run_trial(const TrialConfig& t, const TrialOptions& opt) {
   const auto start = std::chrono::steady_clock::now();
   TrialResult out;
   try {
-    out = run_trial_unchecked(t, verify, shards);
+    out = run_trial_unchecked(t, opt);
   } catch (const std::exception& e) {
     out = TrialResult{};
     out.success = false;
@@ -252,9 +341,14 @@ std::vector<TrialResult> run_trials(const std::vector<TrialConfig>& trials,
   // their own slot; result content depends only on (TrialConfig, verify) —
   // the shard count is behavior-neutral by construction — so neither the
   // claim order nor the thread/shard split can affect aggregates.
+  TrialOptions topt;
+  topt.verify = opt.verify;
+  topt.shards = par.shards;
+  topt.trace_dir = opt.trace_dir;
+  topt.node_stats = opt.node_stats;
   support::WorkerPool pool(par.threads);
   pool.run(trials.size(), [&](std::size_t i) {
-    results[i] = run_trial(trials[i], opt.verify, par.shards);
+    results[i] = run_trial(trials[i], topt);
   });
   return results;
 }

@@ -49,6 +49,10 @@ struct TrialResult {
   /// never aggregated or serialized (it would break thread-count
   /// determinism).
   double wall_seconds = 0.0;
+
+  /// Path of the NDJSON flight-recorder trace written for this trial, empty
+  /// when tracing was off (or the trial is sequential — no network to tap).
+  std::string trace_file;
 };
 
 struct RunnerOptions {
@@ -67,6 +71,23 @@ struct RunnerOptions {
   /// where runner-level parallelism is useless).  Any value produces
   /// bitwise-identical aggregates; only wall-clock changes.
   std::uint32_t shards = 0;
+  /// When non-empty, every CONGEST trial writes a flight-recorder trace to
+  /// `trace_dir`/trace_c<config>_t<trial>.ndjson (see src/trace/).  The
+  /// directory must exist.  Trace counters are deterministic and
+  /// shard-invariant; only wall fields vary between runs.
+  std::string trace_dir{};
+  /// Per-node accounting mode for every CONGEST trial (see
+  /// congest::NodeStatsMode).  Headline metrics are mode-invariant.
+  congest::NodeStatsMode node_stats = congest::NodeStatsMode::kFull;
+};
+
+/// Per-trial knobs of run_trial — RunnerOptions minus the thread budget.
+struct TrialOptions {
+  bool verify = true;
+  /// 0 = the DHC_SHARDS environment default.
+  std::uint32_t shards = 0;
+  std::string trace_dir;
+  congest::NodeStatsMode node_stats = congest::NodeStatsMode::kFull;
 };
 
 /// The arbitrated thread/shard split for a run: `threads` concurrent trials,
@@ -94,6 +115,10 @@ graph::Graph make_trial_instance(const TrialConfig& t);
 /// thrown std::exception) are reported as unsuccessful results, never
 /// propagated.
 TrialResult run_trial(const TrialConfig& t, bool verify = true, std::uint32_t shards = 0);
+
+/// Same, with tracing and node-stats knobs.  A failure to write the trace
+/// file is a trial failure (reported, never thrown).
+TrialResult run_trial(const TrialConfig& t, const TrialOptions& opt);
 
 /// Runs all trials on a worker pool and returns results in trial order.
 /// Aggregate-relevant fields are identical for every `opt.threads` /

@@ -1,0 +1,79 @@
+#include "support/quantile_sketch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace dhc::support {
+
+namespace {
+
+constexpr std::uint32_t kSubCount = 1u << QuantileSketch::kSubBits;
+// Smallest exponent in the log region: values < 2^kLinearExp are exact.
+constexpr std::uint32_t kLinearExp = 10;
+static_assert(QuantileSketch::kLinearCutoff == (1ull << kLinearExp));
+constexpr std::size_t kLogBuckets = (64 - kLinearExp) * kSubCount;
+
+}  // namespace
+
+QuantileSketch::QuantileSketch()
+    : buckets_(static_cast<std::size_t>(kLinearCutoff) + kLogBuckets, 0) {}
+
+std::size_t QuantileSketch::bucket_of(std::uint64_t v) {
+  if (v < kLinearCutoff) return static_cast<std::size_t>(v);
+  const std::uint32_t e = static_cast<std::uint32_t>(std::bit_width(v)) - 1;
+  const std::uint64_t sub = (v >> (e - kSubBits)) & (kSubCount - 1);
+  return static_cast<std::size_t>(kLinearCutoff) +
+         static_cast<std::size_t>(e - kLinearExp) * kSubCount + static_cast<std::size_t>(sub);
+}
+
+double QuantileSketch::bucket_value(std::size_t bucket) {
+  if (bucket < kLinearCutoff) return static_cast<double>(bucket);
+  const std::size_t log_index = bucket - static_cast<std::size_t>(kLinearCutoff);
+  const std::uint32_t e = kLinearExp + static_cast<std::uint32_t>(log_index / kSubCount);
+  const std::uint64_t sub = log_index % kSubCount;
+  const double lo = std::ldexp(1.0 + static_cast<double>(sub) / kSubCount, static_cast<int>(e));
+  const double width = std::ldexp(1.0, static_cast<int>(e - kSubBits));
+  return lo + width / 2.0;
+}
+
+void QuantileSketch::add(std::uint64_t value) {
+  buckets_[bucket_of(value)] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += 1;
+  sum_ += static_cast<double>(value);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Endpoints snap to the exactly-tracked extremes so p0/p100 never carry
+  // bucket error (the interior clamp alone cannot raise a low bucket
+  // representative up to the true max).
+  if (q <= 0.0) return static_cast<double>(min());
+  if (q >= 1.0) return static_cast<double>(max_);
+  // Nearest-rank over the bucketed distribution.
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(std::llround(q * static_cast<double>(count_ - 1)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      const double v = bucket_value(i);
+      return std::clamp(v, static_cast<double>(min_), static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace dhc::support

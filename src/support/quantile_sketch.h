@@ -1,0 +1,67 @@
+// Fixed-size streaming quantile sketch for per-node load distributions.
+//
+// The million-node goal (ROADMAP) rules out keeping one double per node just
+// to report p50/p95/p99 of the per-node message/memory/compute totals, and
+// the trace/metrics pipeline needs those quantiles to be deterministic and
+// mergeable.  This sketch is a base-2 log-linear histogram (the HDR/DDSketch
+// family, integer-only so results are bit-identical on every platform):
+//
+//   * values below kLinearCutoff land in one bucket each — exact counts,
+//     exact quantiles.  Per-node totals in practice are small integers, so
+//     the common case pays no approximation at all.
+//   * larger values bucket by (exponent, top kSubBits mantissa bits): the
+//     bucket's relative width is 2^-kSubBits, so a reported quantile value
+//     is within a factor (1 ± 2^-(kSubBits+1)) of some sample at a rank
+//     within the bucket — the "sketch error bound" quoted in DESIGN.md §7.
+//
+// The footprint is a fixed ~3k buckets of 8 bytes regardless of how many
+// values stream in; count/sum/min/max are tracked exactly on the side.
+// add() order never affects the state, so sketches are shard- and
+// thread-order invariant, and merge() is plain bucket-wise addition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dhc::support {
+
+class QuantileSketch {
+ public:
+  /// Values below this are binned exactly (one bucket per integer).
+  static constexpr std::uint64_t kLinearCutoff = 1024;
+  /// Mantissa bits kept per power of two in the log region.
+  static constexpr std::uint32_t kSubBits = 5;
+  /// Worst-case relative half-width of a log-region bucket: quantile values
+  /// ≥ kLinearCutoff are within ±relative_error() of the true sample value
+  /// at that rank (values below the cutoff are exact).
+  static constexpr double relative_error() { return 1.0 / (1u << (kSubBits + 1)); }
+
+  QuantileSketch();
+
+  void add(std::uint64_t value);
+
+  /// Bucket-wise union; exact side stats combine exactly.
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  /// Value estimate at quantile q in [0, 1] (0 → min, 1 → max).  Exact for
+  /// values below kLinearCutoff; otherwise within relative_error().
+  double quantile(double q) const;
+
+ private:
+  static std::size_t bucket_of(std::uint64_t v);
+  static double bucket_value(std::size_t bucket);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dhc::support

@@ -1,0 +1,18 @@
+// Chrome trace_event export for flight-recorder traces: load the result in
+// chrome://tracing or https://ui.perfetto.dev.  Phase spans become "X"
+// (complete) events; per-round activity becomes "C" (counter) tracks.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/reader.h"
+
+namespace dhc::trace {
+
+/// Writes `data` as a Chrome trace_event JSON document.  The time axis is
+/// the cumulative per-round wall clock when the trace carries wall times;
+/// when walls were zeroed at write time (deterministic traces) it falls back
+/// to one microsecond per simulated round, so the structure stays visible.
+void write_chrome_trace(const TraceData& data, std::ostream& os);
+
+}  // namespace dhc::trace

@@ -1,0 +1,28 @@
+// Human-readable rollups over parsed traces: the per-phase summary table,
+// the two-trace diff, and the shard-imbalance report dhc_trace prints.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/reader.h"
+
+namespace dhc::trace {
+
+/// Prints the run header (algo, n, seeds, outcome), the per-phase table
+/// (rounds / stepped / messages / bits / barriers / wall ms), and the
+/// summary totals.  The per-phase "rounds" column sums to the run's round
+/// count by construction (spans tile [first mark, rounds + 1)).
+void print_summary(const TraceData& data, std::ostream& os);
+
+/// Prints a phase-by-phase comparison of two traces (label-matched spans,
+/// summed over repeated labels), with absolute and relative deltas on
+/// rounds, messages, and bits, then the summary-counter deltas.  Returns
+/// the number of counters that differ (0 = traces agree on every counter).
+int print_diff(const TraceData& a, const TraceData& b, std::ostream& os);
+
+/// Prints the shard-profile report: for each sharded round group, the
+/// active-node and wall-time split across shards and the imbalance factor
+/// max/mean.  Says so when the trace carries no shard profile.
+void print_imbalance(const TraceData& data, std::ostream& os);
+
+}  // namespace dhc::trace

@@ -1,0 +1,121 @@
+// Unit tests for the streaming quantile sketch behind --node_stats=streaming.
+#include "support/quantile_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dhc::support {
+namespace {
+
+/// Nearest-rank quantile on a sorted copy — the exact reference the sketch is
+/// checked against.
+double exact_quantile(std::vector<std::uint64_t> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1) + 0.5);
+  return static_cast<double>(v[std::min(rank, v.size() - 1)]);
+}
+
+TEST(QuantileSketch, EmptyIsAllZero) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, SideStatsAreExact) {
+  QuantileSketch s;
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : {3u, 141u, 59u, 0u, 2653589u, 79u}) {
+    s.add(v);
+    sum += v;
+  }
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_DOUBLE_EQ(s.sum(), static_cast<double>(sum));
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 2653589u);
+}
+
+TEST(QuantileSketch, LinearRegionIsExact) {
+  // Everything below kLinearCutoff lands in its own bucket, so quantiles of
+  // small per-node totals (the common case) carry no approximation at all.
+  QuantileSketch s;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < QuantileSketch::kLinearCutoff; ++v) {
+    s.add(v);
+    values.push_back(v);
+  }
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), exact_quantile(values, q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, LogRegionWithinRelativeErrorBound) {
+  // Log-normal-ish spread across the log region; every reported quantile must
+  // be within relative_error() of the exact nearest-rank value.
+  std::mt19937_64 rng(12345);
+  QuantileSketch s;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double e = std::uniform_real_distribution<double>(10.0, 30.0)(rng);
+    const auto v = static_cast<std::uint64_t>(std::pow(2.0, e));
+    s.add(v);
+    values.push_back(v);
+  }
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double exact = exact_quantile(values, q);
+    const double est = s.quantile(q);
+    EXPECT_NEAR(est, exact, exact * QuantileSketch::relative_error())
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(QuantileSketch, ExtremesReturnMinAndMax) {
+  QuantileSketch s;
+  for (std::uint64_t v : {17u, 100000u, 31u, 999999937u}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 17.0);
+  // q=1 reports the exact max, not a bucket representative.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 999999937.0);
+}
+
+TEST(QuantileSketch, MergeEqualsSingleStream) {
+  // merge() is bucket-wise addition, so (A ∪ B) sketched in two halves must
+  // equal the single-stream sketch bit for bit — that is what makes the
+  // streaming summaries shard-invariant.
+  std::mt19937_64 rng(777);
+  QuantileSketch whole, a, b;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng() % 5000000;
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.sum(), whole.sum());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, InsertionOrderDoesNotMatter) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1; v <= 4096; ++v) values.push_back(v * 37);
+  QuantileSketch fwd, rev;
+  for (const std::uint64_t v : values) fwd.add(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) rev.add(*it);
+  for (const double q : {0.0, 0.33, 0.5, 0.66, 1.0}) {
+    EXPECT_DOUBLE_EQ(fwd.quantile(q), rev.quantile(q)) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace dhc::support

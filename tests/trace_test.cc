@@ -1,0 +1,335 @@
+// Flight-recorder tests: NDJSON schema golden, shard invariance of every
+// counter, phase-span accounting, the k-machine kround stream, the reader
+// round trip, and the run_trial trace-file integration.
+//
+// The golden file pins the byte-exact schema-v1 output (wall fields zeroed,
+// shard-profile fields omitted — the deterministic projection).  Regenerate
+// after a reviewed schema change with:
+//
+//   DHC_UPDATE_GOLDEN=1 ./trace_test
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dhc1.h"
+#include "core/dhc2.h"
+#include "core/dra.h"
+#include "core/turau.h"
+#include "core/upcast.h"
+#include "graph/generators.h"
+#include "kmachine/kmachine.h"
+#include "runner/trial_runner.h"
+#include "trace/reader.h"
+#include "trace/recorder.h"
+#include "trace/summary.h"
+
+#ifndef DHC_TRACE_GOLDEN_FILE
+#define DHC_TRACE_GOLDEN_FILE "tests/golden/trace_golden.ndjson"
+#endif
+
+namespace dhc::trace {
+namespace {
+
+graph::Graph instance(graph::NodeId n, double c, double delta, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return graph::gnp(n, graph::edge_probability(n, c, delta), rng);
+}
+
+TraceMeta meta_for(const char* algo, graph::NodeId n, std::uint64_t m, std::uint64_t seed) {
+  TraceMeta meta;
+  meta.algo = algo;
+  meta.family = "gnp";
+  meta.n = n;
+  meta.m = m;
+  meta.delta = 1.0;
+  meta.c = 3.0;
+  meta.graph_seed = 42;
+  meta.algo_seed = seed;
+  return meta;
+}
+
+/// Runs DHC2 on the pinned golden instance with a recorder attached and
+/// returns the deterministic projection (walls zeroed, shard fields off).
+std::string golden_projection(std::uint32_t shards) {
+  const graph::Graph g = instance(96, 3.0, 1.0, 42);
+  TraceRecorder rec;
+  rec.set_meta(meta_for("dhc2", 96, g.m(), 7));
+  core::Dhc2Config cfg;
+  cfg.trace = &rec;
+  cfg.shards = shards;
+  const auto r = core::run_dhc2(g, 7, cfg);
+  rec.finalize(r.metrics);
+  rec.set_outcome(r.success, r.failure_reason);
+  std::ostringstream os;
+  rec.write_ndjson(os, {.walls = false, .shard_profile = false});
+  return os.str();
+}
+
+TEST(TraceGolden, SchemaV1IsPinned) {
+  const std::string got = golden_projection(/*shards=*/1);
+  const std::string path = DHC_TRACE_GOLDEN_FILE;
+
+  if (std::getenv("DHC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write golden file " << path;
+    out << got;
+    GTEST_SKIP() << "golden trace updated: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run DHC_UPDATE_GOLDEN=1 ./trace_test once";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str()) << "trace schema or counters changed — review, then regenerate "
+                                "with DHC_UPDATE_GOLDEN=1 ./trace_test";
+}
+
+TEST(TraceDeterminism, RepeatedRunsAreByteIdentical) {
+  EXPECT_EQ(golden_projection(1), golden_projection(1));
+}
+
+TEST(TraceDeterminism, CountersAreShardInvariant) {
+  // Every non-wall, non-shard-profile byte must be independent of the shard
+  // count (the ISSUE acceptance criterion, at the network level).
+  const std::string one = golden_projection(1);
+  EXPECT_EQ(one, golden_projection(2));
+  EXPECT_EQ(one, golden_projection(4));
+}
+
+TEST(TraceSpans, SumToMetricsRoundsForEverySolver) {
+  const graph::Graph g = instance(96, 4.0, 0.75, 9);
+  struct Case {
+    const char* name;
+    std::function<core::Result(congest::TraceSink*)> run;
+  };
+  const std::vector<Case> cases = {
+      {"dra",
+       [&](congest::TraceSink* t) {
+         core::DraConfig c;
+         c.trace = t;
+         return core::run_dra(g, 3, c);
+       }},
+      {"dhc1",
+       [&](congest::TraceSink* t) {
+         core::Dhc1Config c;
+         c.trace = t;
+         return core::run_dhc1(g, 3, c);
+       }},
+      {"dhc2",
+       [&](congest::TraceSink* t) {
+         core::Dhc2Config c;
+         c.trace = t;
+         return core::run_dhc2(g, 3, c);
+       }},
+      {"turau",
+       [&](congest::TraceSink* t) {
+         core::TurauConfig c;
+         c.trace = t;
+         return core::run_turau(g, 3, c);
+       }},
+      {"upcast",
+       [&](congest::TraceSink* t) {
+         core::UpcastConfig c;
+         c.trace = t;
+         return core::run_upcast(g, 3, c);
+       }},
+  };
+  for (const Case& c : cases) {
+    TraceRecorder rec;
+    const auto r = c.run(&rec);
+    rec.finalize(r.metrics);
+    std::uint64_t span_rounds = 0, span_sent = 0, span_bits = 0, span_barriers = 0;
+    for (const PhaseSpan& s : rec.spans()) {
+      span_rounds += s.rounds;
+      span_sent += s.sent;
+      span_bits += s.bits;
+      span_barriers += s.barriers;
+    }
+    // Spans partition [1, rounds+1); messages/bits/barriers attach to the
+    // span containing their round, so the totals must match exactly.
+    EXPECT_EQ(span_rounds, r.metrics.rounds) << c.name;
+    EXPECT_EQ(span_sent, r.metrics.messages) << c.name;
+    EXPECT_EQ(span_bits, r.metrics.bits) << c.name;
+    EXPECT_EQ(span_barriers, r.metrics.barrier_count) << c.name;
+    EXPECT_EQ(rec.phases().size(), r.metrics.phase_marks.size()) << c.name;
+  }
+}
+
+TEST(TraceKMachine, KRoundChargesSumToReportRounds) {
+  const graph::Graph g = instance(64, 4.0, 0.5, 21);
+  TraceRecorder rec;
+  core::Dhc2Config base;
+  base.trace = &rec;
+  kmachine::KMachineConfig kcfg;
+  kcfg.k = 4;
+  kcfg.bandwidth = 16;
+  kcfg.trace = &rec;
+  const auto out = kmachine::run_kmachine(kmachine::dhc2_algorithm(base), g, 5, kcfg);
+  rec.finalize(out.result.metrics);
+
+  ASSERT_FALSE(rec.krounds().empty());
+  std::uint64_t charge_sum = 0;
+  for (const KRoundRecord& k : rec.krounds()) {
+    EXPECT_GT(k.busiest, 0u);
+    EXPECT_GE(k.charge, 1u);
+    charge_sum += k.charge;
+  }
+  EXPECT_EQ(charge_sum, out.report.kmachine_rounds);
+  EXPECT_EQ(rec.kmachine_rounds_total(), out.report.kmachine_rounds);
+  // Network rounds recorded alongside the pricing stream.
+  EXPECT_EQ(rec.metrics().rounds, out.report.congest_rounds);
+}
+
+TEST(TraceReader, RoundTripPreservesEveryRecord) {
+  const graph::Graph g = instance(80, 3.0, 1.0, 33);
+  TraceRecorder rec;
+  rec.set_meta(meta_for("turau", 80, g.m(), 13));
+  core::TurauConfig cfg;
+  cfg.trace = &rec;
+  const auto r = core::run_turau(g, 13, cfg);
+  rec.finalize(r.metrics);
+  rec.set_outcome(r.success, r.failure_reason);
+
+  std::stringstream ss;
+  rec.write_ndjson(ss);  // full output: walls + shard profile on
+  const TraceData data = read_trace(ss);
+
+  EXPECT_EQ(data.schema, 1u);
+  EXPECT_EQ(data.meta_str("algo"), "turau");
+  EXPECT_EQ(data.meta_u64("n"), 80u);
+  EXPECT_EQ(data.meta_u64("m"), g.m());
+  EXPECT_EQ(data.meta_u64("algo_seed"), 13u);
+  EXPECT_EQ(data.phases.size(), rec.phases().size());
+  EXPECT_EQ(data.rounds.size(), rec.rounds().size());
+  EXPECT_EQ(data.barriers.size(), rec.barriers().size());
+  EXPECT_EQ(data.spans.size(), rec.spans().size());
+  EXPECT_EQ(data.summary_u64("rounds"), r.metrics.rounds);
+  EXPECT_EQ(data.summary_u64("messages"), r.metrics.messages);
+  EXPECT_EQ(data.summary_u64("bits"), r.metrics.bits);
+  EXPECT_EQ(data.summary_u64("barriers"), r.metrics.barrier_count);
+  ASSERT_TRUE(data.has_outcome);
+  EXPECT_EQ(data.success, r.success);
+
+  for (std::size_t i = 0; i < data.rounds.size(); ++i) {
+    EXPECT_EQ(data.rounds[i].round, rec.rounds()[i].round);
+    EXPECT_EQ(data.rounds[i].active, rec.rounds()[i].active);
+    EXPECT_EQ(data.rounds[i].sent, rec.rounds()[i].sent);
+    EXPECT_EQ(data.rounds[i].bits, rec.rounds()[i].bits);
+  }
+  for (std::size_t i = 0; i < data.spans.size(); ++i) {
+    EXPECT_EQ(data.spans[i].label, rec.spans()[i].label);
+    EXPECT_EQ(data.spans[i].rounds, rec.spans()[i].rounds);
+  }
+}
+
+TEST(TraceReader, SeedsSurviveExactly) {
+  // 64-bit seeds do not fit a double; the reader must keep them integral.
+  TraceRecorder rec;
+  TraceMeta meta = meta_for("dhc2", 8, 28, 1);
+  meta.graph_seed = 2443007606088161615ull;
+  meta.algo_seed = 18446744073709551557ull;  // largest prime below 2^64
+  rec.set_meta(meta);
+  congest::Metrics m;
+  rec.finalize(m);
+  std::stringstream ss;
+  rec.write_ndjson(ss);
+  const TraceData data = read_trace(ss);
+  EXPECT_EQ(data.meta_u64("graph_seed"), 2443007606088161615ull);
+  EXPECT_EQ(data.meta_u64("algo_seed"), 18446744073709551557ull);
+}
+
+TEST(TraceSummary, PhaseRoundsSumToMetricsRounds) {
+  // dhc_trace --summarize invariant: the per-phase table's TOTAL rounds row
+  // equals the summary "rounds" counter.
+  const graph::Graph g = instance(96, 3.0, 1.0, 42);
+  TraceRecorder rec;
+  rec.set_meta(meta_for("dhc2", 96, g.m(), 7));
+  core::Dhc2Config cfg;
+  cfg.trace = &rec;
+  const auto r = core::run_dhc2(g, 7, cfg);
+  rec.finalize(r.metrics);
+  rec.set_outcome(r.success, r.failure_reason);
+  std::stringstream ss;
+  rec.write_ndjson(ss);
+  const TraceData data = read_trace(ss);
+
+  std::uint64_t table_rounds = 0;
+  for (const PhaseSpan& s : data.spans) table_rounds += s.rounds;
+  EXPECT_EQ(table_rounds, data.summary_u64("rounds"));
+
+  std::ostringstream report;
+  print_summary(data, report);
+  EXPECT_NE(report.str().find("TOTAL"), std::string::npos);
+  EXPECT_NE(report.str().find("algo=dhc2"), std::string::npos);
+}
+
+TEST(TraceIntegration, RunTrialWritesReadableTraceFile) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dhc_trace_test_out").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  runner::TrialConfig t;
+  t.algo = runner::Algorithm::kDhc2;
+  t.n = 64;
+  t.delta = 1.0;
+  t.c = 3.0;
+  t.graph_seed = 101;
+  t.algo_seed = 202;
+  t.config_index = 3;
+  t.trial_index = 1;
+  runner::TrialOptions opt;
+  opt.trace_dir = dir;
+  const auto r = runner::run_trial(t, opt);
+
+  EXPECT_EQ(r.trace_file, dir + "/trace_c3_t1.ndjson");
+  const TraceData data = read_trace_file(r.trace_file);
+  EXPECT_EQ(data.meta_str("algo"), "dhc2");
+  EXPECT_EQ(data.meta_u64("n"), 64u);
+  EXPECT_EQ(data.meta_u64("graph_seed"), t.graph_seed);
+  EXPECT_EQ(data.meta_u64("config_index"), 3u);
+  EXPECT_EQ(data.meta_u64("trial_index"), 1u);
+  EXPECT_EQ(data.summary_u64("rounds"), static_cast<std::uint64_t>(r.rounds));
+  ASSERT_TRUE(data.has_outcome);
+  EXPECT_EQ(data.success, r.success);
+
+  // The runner's phase stats and the trace agree (the synthetic "(untagged)"
+  // span has no Metrics mark and therefore no runner stat).
+  for (const PhaseSpan& s : data.spans) {
+    if (s.label == "(untagged)") continue;
+    const auto it = r.stats.find("phase_" + s.label + "_rounds");
+    ASSERT_NE(it, r.stats.end()) << s.label;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceIntegration, SequentialTrialsDoNotTrace) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dhc_trace_test_seq").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  runner::TrialConfig t;
+  t.algo = runner::Algorithm::kSequential;
+  t.n = 32;
+  t.delta = 1.0;
+  t.c = 4.0;
+  t.graph_seed = 7;
+  t.algo_seed = 8;
+  runner::TrialOptions opt;
+  opt.trace_dir = dir;
+  const auto r = runner::run_trial(t, opt);
+  EXPECT_TRUE(r.trace_file.empty());
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dhc::trace

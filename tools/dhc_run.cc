@@ -34,6 +34,12 @@
 //   --json=PATH       JSON artifact path ("" disables; default dhc_run.json)
 //   --csv=PATH        CSV artifact path (default: none)
 //   --verify=BOOL     check returned cycles against the graph (default true)
+//   --trace=DIR       write one flight-recorder NDJSON trace per CONGEST
+//                     trial into DIR (created if missing); paths land in the
+//                     JSON artifact as "trace_files".  Inspect with dhc_trace.
+//   --node_stats=STR  per-node accounting: full (default) | streaming | off;
+//                     streaming keeps fixed-size quantile digests instead of
+//                     per-node vectors (the large-n mode)
 //
 // Benchmark mode (perf trajectory; see README "Performance tracking"):
 //   --bench=LIST      run the named presets (or "all"); prints throughput and
@@ -41,6 +47,7 @@
 //   --bench-json=PATH BENCH artifact path (default BENCH_congest.json)
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -148,6 +155,14 @@ int main(int argc, char** argv) {
     opt.threads = cli.has("threads") ? checked_unsigned(cli, "threads", 1 << 20) : 1;
     opt.verify = cli.get_bool("verify", true);
     opt.shards = checked_unsigned(cli, "shards", 1 << 20);
+    opt.node_stats = scenario.node_stats;
+    if (cli.has("trace")) {
+      opt.trace_dir = cli.get_string("trace", "");
+      if (opt.trace_dir.empty() || opt.trace_dir == "true") {
+        throw std::invalid_argument("--trace needs a directory: --trace=DIR");
+      }
+      std::filesystem::create_directories(opt.trace_dir);
+    }
 
     const auto trials = runner::expand(scenario);
     const auto par = runner::resolve_parallelism(trials.size(), opt);

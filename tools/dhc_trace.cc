@@ -1,0 +1,160 @@
+// dhc_trace — inspector for flight-recorder traces (src/trace/) and the
+// perf-regression gate over BENCH artifacts.
+//
+// Modes (pick exactly one):
+//   --summarize=TRACE        per-phase rounds/messages/bits table + totals
+//   --diff=TRACE_A,TRACE_B   phase- and counter-level comparison; exit 1
+//                            when any non-wall counter differs (the
+//                            determinism / shard-invariance check as a tool)
+//   --imbalance=TRACE        per-shard active/wall split and imbalance
+//                            factors (traces recorded with DHC_SHARDS>1)
+//   --chrome=TRACE           convert to Chrome trace_event JSON
+//                            (--out=PATH, default TRACE.chrome.json); load
+//                            in chrome://tracing or ui.perfetto.dev
+//   --bench-gate=BENCH_JSON  compare against --baseline=BENCH_JSON: exit 1
+//                            when any preset's trials_per_sec regressed by
+//                            more than --tolerance (default 0.15), or when
+//                            messages_total changed at all (a behavior
+//                            change masquerading as a perf delta)
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/cli.h"
+#include "support/json.h"
+#include "trace/chrome.h"
+#include "trace/reader.h"
+#include "trace/summary.h"
+
+namespace {
+
+using dhc::support::JsonValue;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int bench_gate(const std::string& current_path, const std::string& baseline_path,
+               double tolerance) {
+  const JsonValue current = dhc::support::parse_json(slurp(current_path));
+  const JsonValue baseline = dhc::support::parse_json(slurp(baseline_path));
+
+  int failures = 0;
+  for (const JsonValue& cur : current.get("scenarios").as_array()) {
+    const std::string& name = cur.str("name");
+    const JsonValue* base = nullptr;
+    for (const JsonValue& b : baseline.get("scenarios").as_array()) {
+      if (b.str("name") == name) {
+        base = &b;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      std::cout << "bench-gate: " << name << ": no baseline entry (new preset, skipped)\n";
+      continue;
+    }
+    const double cur_tps = cur.number("trials_per_sec");
+    const double base_tps = base->number("trials_per_sec");
+    const double ratio = base_tps > 0.0 ? cur_tps / base_tps : 1.0;
+    const bool tps_ok = ratio >= 1.0 - tolerance;
+    std::cout << "bench-gate: " << name << ": " << base_tps << " -> " << cur_tps
+              << " trials/s (x" << ratio << (tps_ok ? ", ok" : ", REGRESSION") << ")\n";
+    if (!tps_ok) ++failures;
+
+    // messages_total is machine-independent: a change means the workload
+    // itself changed, which invalidates the throughput comparison.
+    const std::uint64_t cur_msgs = cur.u64("messages_total");
+    const std::uint64_t base_msgs = base->u64("messages_total");
+    if (cur_msgs != base_msgs) {
+      std::cout << "bench-gate: " << name << ": messages_total " << base_msgs << " -> "
+                << cur_msgs << " (WORKLOAD CHANGED — refresh the baseline)\n";
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::cout << "bench-gate: FAILED (" << failures << " check(s))\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "bench-gate: ok (tolerance " << tolerance << ")\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dhc;
+  try {
+    const support::Cli cli(argc, argv);
+    if (cli.has("help") || argc == 1) {
+      std::cout << "usage: dhc_trace --summarize=TRACE | --diff=A,B | --imbalance=TRACE | "
+                   "--chrome=TRACE [--out=PATH] | --bench-gate=JSON --baseline=JSON "
+                   "[--tolerance=0.15]\n"
+                   "See the header of tools/dhc_trace.cc for details.\n";
+      return EXIT_SUCCESS;
+    }
+
+    if (cli.has("summarize")) {
+      const auto data = trace::read_trace_file(cli.get_string("summarize", ""));
+      trace::print_summary(data, std::cout);
+      return EXIT_SUCCESS;
+    }
+
+    if (cli.has("diff")) {
+      const auto paths = cli.get_string_list("diff", {});
+      if (paths.size() != 2) {
+        throw std::invalid_argument("--diff needs exactly two traces: --diff=A,B");
+      }
+      const auto a = trace::read_trace_file(paths[0]);
+      const auto b = trace::read_trace_file(paths[1]);
+      return trace::print_diff(a, b, std::cout) == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+    }
+
+    if (cli.has("imbalance")) {
+      const auto data = trace::read_trace_file(cli.get_string("imbalance", ""));
+      trace::print_imbalance(data, std::cout);
+      return EXIT_SUCCESS;
+    }
+
+    if (cli.has("chrome")) {
+      const std::string in_path = cli.get_string("chrome", "");
+      const auto data = trace::read_trace_file(in_path);
+      const std::string out_path = cli.get_string("out", in_path + ".chrome.json");
+      std::ofstream os(out_path, std::ios::binary | std::ios::trunc);
+      if (!os) throw std::runtime_error("cannot open '" + out_path + "'");
+      trace::write_chrome_trace(data, os);
+      os.flush();
+      if (!os) throw std::runtime_error("failed writing '" + out_path + "'");
+      std::cout << "chrome trace: " << out_path << "\n";
+      return EXIT_SUCCESS;
+    }
+
+    if (cli.has("bench-gate")) {
+      if (!cli.has("baseline")) {
+        throw std::invalid_argument("--bench-gate needs --baseline=BENCH_JSON");
+      }
+      const double tolerance = cli.get_double("tolerance", 0.15);
+      if (tolerance < 0.0 || tolerance >= 1.0) {
+        throw std::invalid_argument("--tolerance must be in [0, 1)");
+      }
+      return bench_gate(cli.get_string("bench-gate", ""), cli.get_string("baseline", ""),
+                        tolerance);
+    }
+
+    throw std::invalid_argument(
+        "pick a mode: --summarize, --diff, --imbalance, --chrome, or --bench-gate");
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "dhc_trace: " << e.what() << "\n(run with --help for usage)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dhc_trace: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
