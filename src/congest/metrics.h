@@ -63,6 +63,14 @@ struct Metrics {
   /// True when the run stopped because it hit the round limit.
   bool hit_round_limit = false;
 
+  /// Async-model fault accounting (all zero on synchronous runs).  Note the
+  /// async `messages` counter counts *sends*; dropped/crash-dropped messages
+  /// are sent but never arrive.
+  std::uint64_t delayed_messages = 0;        ///< delivered with latency > 1
+  std::uint64_t dropped_messages = 0;        ///< lost in transit (drop_prob)
+  std::uint64_t crash_dropped_messages = 0;  ///< arrived at a crashed node
+  std::uint64_t crashed_steps = 0;           ///< activations lost to crashes
+
   /// Which per-node accounting mode populated this run (set by the Network
   /// from its config; determines which vectors below are non-empty).
   NodeStatsMode node_stats_mode = NodeStatsMode::kFull;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "congest/fault_plan.h"
 #include "support/quantile_sketch.h"
 #include "support/require.h"
 
@@ -201,6 +202,15 @@ Network::Network(const graph::Graph& g, NetworkConfig cfg) : graph_(&g), cfg_(cf
 
   wheel_.resize(kWheelSize);
 
+  faults_ = cfg_.faults;
+  if (faults_ != nullptr) {
+    delay_wheel_.resize(kWheelSize);
+    link_free_at_.assign(total_directed, 0);
+    if (faults_->round_limit() != 0) {
+      cfg_.max_rounds = std::min(cfg_.max_rounds, faults_->round_limit());
+    }
+  }
+
   const support::Rng base(cfg_.seed);
   rngs_.reserve(n);
   for (NodeId v = 0; v < g.n(); ++v) rngs_.push_back(base.stream(v));
@@ -266,7 +276,104 @@ std::uint64_t Network::next_armed_round() const {
   return best;
 }
 
+void Network::enqueue_async(NodeId from, NodeId to, const Message& msg) {
+  // Each directed link serializes at one message per round: a message
+  // departs at the later of "now" and the link's next free slot, so a
+  // same-round burst (legal here — a node answering several delayed
+  // arrivals at once) queues behind itself instead of tripping the
+  // synchronous capacity check.  Departures per edge are strictly
+  // increasing and the base delay is a pure function of the edge, so
+  // arrivals stay in send order (FIFO) with or without queueing; a
+  // sync-legal schedule never queues, keeping latency-1 runs bitwise
+  // equal to the synchronous engine.
+  const std::size_t edge_id = edge_offsets_[from] + graph_->neighbor_rank(from, to);
+  std::uint64_t& free_at = link_free_at_[edge_id];
+  const std::uint64_t depart = std::max(round_, free_at);
+  free_at = depart + 1;
+  if (faults_->drop(from, to, round_)) {  // lost in transit; the slot is spent
+    metrics_.dropped_messages += 1;
+    return;
+  }
+  const std::uint64_t latency = (depart - round_) + faults_->delay(from, to);
+  if (latency > 1) metrics_.delayed_messages += 1;
+  const std::uint64_t target = round_ + latency;
+  auto& bucket =
+      latency < kWheelSize ? delay_wheel_[target & kWheelMask] : far_messages_[target];
+  if (latency < kWheelSize) ++delay_armed_;
+  Message& slot = bucket.emplace_back(msg);
+  slot.from = from;
+  slot.to = to;
+}
+
+std::uint64_t Network::next_delivery_round() const {
+  std::uint64_t best = static_cast<std::uint64_t>(-1);
+  if (delay_armed_ != 0) {
+    for (std::uint64_t r = round_ + 1; r < round_ + kWheelSize; ++r) {
+      if (!delay_wheel_[r & kWheelMask].empty()) {
+        best = r;
+        break;
+      }
+    }
+  }
+  if (!far_messages_.empty()) best = std::min(best, far_messages_.begin()->first);
+  return best;
+}
+
+void Network::mature_async_messages() {
+  // Far entries mature before the wheel bucket: a far message due this round
+  // was filed with latency >= kWheelSize, i.e. sent at least kWheelSize
+  // rounds ago, while every wheel message due now was sent strictly later —
+  // so far-then-wheel, each vector in append order, IS the global send
+  // order, and per-node arrival order stays send-order just like the
+  // synchronous scatter.
+  const auto deliver = [&](std::vector<Message>& msgs) {
+    for (const Message& m : msgs) {
+      if (faults_->crashed(m.to, round_)) {
+        metrics_.crash_dropped_messages += 1;
+        continue;
+      }
+      if (node_stats_ == NodeStatsMode::kFull) metrics_.node_messages_received[m.to] += 1;
+      if (inbox_count_[m.to]++ == 0) next_active_.push_back(m.to);
+      outbox_.push_back(m);
+    }
+  };
+  const auto due = far_messages_.begin();
+  if (due != far_messages_.end() && due->first <= round_) {
+    DHC_CHECK(due->first == round_, "far async delivery overshot its round");
+    deliver(due->second);
+    far_messages_.erase(due);
+  }
+  auto& bucket = delay_wheel_[round_ & kWheelMask];
+  delay_armed_ -= bucket.size();
+  deliver(bucket);
+  bucket.clear();
+}
+
+void Network::filter_crashed_active() {
+  // Serial pass over the freshly built active set: crashed nodes neither
+  // step nor keep their wake-up activation (the wake-up was consumed from
+  // the wheel; recovery is a silent rejoin, not a re-arm).  Mail-activated
+  // nodes are never crashed here — their messages were already dropped at
+  // maturation — so clearing inbox state is belt-and-braces only.
+  std::size_t w = 0;
+  for (const NodeId v : active_) {
+    if (faults_->crashed(v, round_)) {
+      has_mail_[v] = 0;
+      inbox_len_[v] = 0;
+      metrics_.crashed_steps += 1;
+      continue;
+    }
+    active_[w++] = v;
+  }
+  active_.resize(w);
+}
+
 void Network::deliver_and_build_active_set() {
+  // Async regime: move every message whose latency elapses this round into
+  // the outbox first; the synchronous mail walk below then treats them
+  // exactly like last round's sends.
+  if (faults_ != nullptr) mature_async_messages();
+
   // Mail first: walk the receivers in first-touch order, carve each node's
   // contiguous slice out of the inbox arena, and reset its pending count.
   active_.clear();
@@ -319,6 +426,8 @@ void Network::deliver_and_build_active_set() {
   } else {
     std::sort(active_.begin(), active_.end());
   }
+
+  if (faults_ != nullptr && faults_->crashes_active()) filter_crashed_active();
 
   // Stable scatter: outbox send order becomes per-node arrival order.
   if (inbox_arena_.size() < outbox_.size()) inbox_arena_.resize(outbox_.size());
@@ -401,17 +510,24 @@ void Network::merge_shard_logs() {
       cfg_.observer->on_events({sh.events.data(), sh.events.size()});
       sh.events.clear();
     }
-    if (node_stats_ == NodeStatsMode::kFull) {
+    if (faults_ != nullptr) {
+      // Async regime: replay each send through the fault plan in the global
+      // send order.  Every drop/delay decision is a pure hash of the edge
+      // and round, so this serial replay makes exactly the decisions the
+      // sequential path makes — shard invariance needs no extra argument.
+      for (const Message& m : sh.outbox) enqueue_async(m.from, m.to, m);
+    } else if (node_stats_ == NodeStatsMode::kFull) {
       for (const Message& m : sh.outbox) {
         metrics_.node_messages_received[m.to] += 1;
         if (inbox_count_[m.to]++ == 0) next_active_.push_back(m.to);
       }
+      outbox_.insert(outbox_.end(), sh.outbox.begin(), sh.outbox.end());
     } else {
       for (const Message& m : sh.outbox) {
         if (inbox_count_[m.to]++ == 0) next_active_.push_back(m.to);
       }
+      outbox_.insert(outbox_.end(), sh.outbox.begin(), sh.outbox.end());
     }
-    outbox_.insert(outbox_.end(), sh.outbox.begin(), sh.outbox.end());
     sh.outbox.clear();
     for (const auto& [delay, v] : sh.wakeups) arm_wakeup(v, delay);
     sh.wakeups.clear();
@@ -466,7 +582,8 @@ Metrics Network::run(Protocol& protocol) {
   }
 
   while (true) {
-    if (outbox_.empty() && !any_wakeup_armed()) {
+    const bool delivery_pending = faults_ != nullptr && any_delivery_pending();
+    if (outbox_.empty() && !any_wakeup_armed() && !delivery_pending) {
       if (!protocol.on_quiescence(*this)) break;
       metrics_.barrier_count += 1;
       if (tracing) cfg_.trace->on_barrier(round_, metrics_.barrier_cost_rounds);
@@ -475,8 +592,19 @@ Metrics Network::run(Protocol& protocol) {
       continue;
     }
 
-    // Advance to the next round with activity (idle gaps still count).
-    round_ = outbox_.empty() ? next_armed_round() : round_ + 1;
+    // Advance to the next round with activity (idle gaps still count).  The
+    // async regime jumps to the earliest event of either kind — a pending
+    // delivery or an armed wake-up — so no delay-wheel bucket is ever
+    // skipped past; the synchronous regime keeps the classic rule.
+    if (faults_ != nullptr) {
+      std::uint64_t next = next_delivery_round();
+      if (any_wakeup_armed()) next = std::min(next, next_armed_round());
+      DHC_CHECK(next != static_cast<std::uint64_t>(-1),
+                "async advance with neither deliveries nor wake-ups pending");
+      round_ = next;
+    } else {
+      round_ = outbox_.empty() ? next_armed_round() : round_ + 1;
+    }
     if (round_ > cfg_.max_rounds) {
       metrics_.hit_round_limit = true;
       break;
@@ -487,6 +615,10 @@ Metrics Network::run(Protocol& protocol) {
       // round's deltas; the wall clock runs only on this traced path.
       const std::uint64_t msgs0 = metrics_.messages;
       const std::uint64_t bits0 = metrics_.bits;
+      const std::uint64_t delayed0 = metrics_.delayed_messages;
+      const std::uint64_t dropped0 = metrics_.dropped_messages;
+      const std::uint64_t crash_dropped0 = metrics_.crash_dropped_messages;
+      const std::uint64_t crashed0 = metrics_.crashed_steps;
       const auto t0 = std::chrono::steady_clock::now();
       deliver_and_build_active_set();
       const std::uint64_t wake0 = wheel_armed_ + far_wakeups_.size();
@@ -498,6 +630,17 @@ Metrics Network::run(Protocol& protocol) {
       const std::uint64_t wake1 = wheel_armed_ + far_wakeups_.size();
       emit_round_trace(metrics_.messages - msgs0, metrics_.bits - bits0,
                        wake1 > wake0 ? wake1 - wake0 : 0, wall_ns);
+      if (faults_ != nullptr) {
+        FaultTrace ft;
+        ft.round = round_;
+        ft.delayed = metrics_.delayed_messages - delayed0;
+        ft.dropped = metrics_.dropped_messages - dropped0;
+        ft.crash_dropped = metrics_.crash_dropped_messages - crash_dropped0;
+        ft.crashed_steps = metrics_.crashed_steps - crashed0;
+        if (ft.delayed + ft.dropped + ft.crash_dropped + ft.crashed_steps > 0) {
+          cfg_.trace->on_faults(ft);
+        }
+      }
     } else {
       deliver_and_build_active_set();
       step_active_set(protocol);

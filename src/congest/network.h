@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <queue>
 #include <span>
@@ -54,6 +55,8 @@
 #include "support/worker_pool.h"
 
 namespace dhc::congest {
+
+class FaultPlan;  // congest/fault_plan.h — async delays/drops/crashes
 
 /// Thrown when a protocol exceeds the CONGEST per-edge bandwidth, sends to a
 /// non-neighbor, or otherwise breaks the communication model.
@@ -137,6 +140,14 @@ struct NetworkConfig {
   /// exact-vector mode every golden test pins; kStreaming trades exact
   /// per-node vectors for compact accumulators + quantile summaries.
   NodeStatsMode node_stats = NodeStatsMode::kFull;
+
+  /// Optional fault plan (not owned; must outlive the run).  nullptr — the
+  /// default — is the synchronous CONGEST model, bit-for-bit as before.
+  /// Non-null switches the engine to the async delivery regime (DESIGN.md
+  /// §8): sends are routed through the plan's drop/delay decisions into a
+  /// message delay wheel and delivered when their latency elapses; crashed
+  /// nodes neither step nor receive.
+  const FaultPlan* faults = nullptr;
 };
 
 class Network;
@@ -259,19 +270,22 @@ class Network {
   /// Metrics of the run in progress (valid during run()).
   Metrics& metrics() { return metrics_; }
 
+  /// Wake-up wheel geometry: one bucket per upcoming round, indexed modulo
+  /// the wheel size.  Every delay protocols use in practice is far below
+  /// kWheelSize; longer delays overflow into a (round, node) min-heap.
+  /// Rounds advance either by +1 or by jumping to the *minimum* armed round
+  /// (wake-up or pending async delivery), so a bucket is always drained
+  /// before its slot could be reused.  The async message delay wheel shares
+  /// this geometry.  Public so the boundary tests can pin the wheel/heap
+  /// hand-off at exactly kWheelSize-1 / kWheelSize / kWheelSize+1.
+  static constexpr std::uint64_t kWheelBits = 10;
+  static constexpr std::uint64_t kWheelSize = 1ull << kWheelBits;
+  static constexpr std::uint64_t kWheelMask = kWheelSize - 1;
+
  private:
   friend class Context;
 
   using ShardState = internal::ShardState;
-
-  /// Wake-up wheel: one bucket per upcoming round, indexed modulo the wheel
-  /// size.  Every delay protocols use in practice is far below kWheelSize;
-  /// the rare longer delay overflows into a (round, node) min-heap.  Rounds
-  /// advance either by +1 or by jumping to the *minimum* armed round, so a
-  /// bucket is always drained before its slot could be reused.
-  static constexpr std::uint64_t kWheelBits = 10;
-  static constexpr std::uint64_t kWheelSize = 1ull << kWheelBits;
-  static constexpr std::uint64_t kWheelMask = kWheelSize - 1;
 
   void deliver_and_build_active_set();
   void step_active_set(Protocol& protocol);
@@ -282,6 +296,24 @@ class Network {
   std::uint64_t next_armed_round() const;
   void arm_wakeup(NodeId v, std::uint64_t delay);
   bool any_wakeup_armed() const { return wheel_armed_ != 0 || !far_wakeups_.empty(); }
+
+  // --- async delivery (cfg.faults != nullptr) ---
+
+  /// Routes one committed send through the fault plan: dropped messages
+  /// vanish (counted), surviving ones are filed in the message delay wheel
+  /// (or the far map) under round_ + latency.  Serial only: called from the
+  /// sequential send path and from the shard-log merge, never from inside a
+  /// parallel section.
+  void enqueue_async(NodeId from, NodeId to, const Message& msg);
+  /// Moves every message due this round from the delay wheel / far map into
+  /// outbox_, applying crash-receiver drops and the receiver-side
+  /// first-touch bookkeeping that the synchronous path does at send time.
+  void mature_async_messages();
+  /// Earliest round > round_ holding a pending delivery (UINT64_MAX: none).
+  std::uint64_t next_delivery_round() const;
+  bool any_delivery_pending() const { return delay_armed_ != 0 || !far_messages_.empty(); }
+  /// Drops crashed nodes from the freshly built active set (serial pass).
+  void filter_crashed_active();
 
   void send_from(ShardState* sh, NodeId from, NodeId to, const Message& msg);
   void send_ranked(ShardState* sh, NodeId from, std::size_t rank, const Message& msg);
@@ -326,6 +358,17 @@ class Network {
                       std::greater<>>
       far_wakeups_;  // wake-ups ≥ kWheelSize rounds out (rare)
 
+  // Async delivery state (allocated only when cfg.faults != nullptr).  The
+  // message delay wheel mirrors the wake-up wheel: one bucket per upcoming
+  // round; deliveries ≥ kWheelSize rounds out live in the ordered far map.
+  // Bucket append order is the global send order, so maturation preserves
+  // the arrival-order determinism the synchronous scatter guarantees.
+  const FaultPlan* faults_ = nullptr;              // hoisted out of cfg_
+  std::vector<std::uint64_t> link_free_at_;        // per directed edge: next free departure round
+  std::vector<std::vector<Message>> delay_wheel_;  // kWheelSize buckets
+  std::size_t delay_armed_ = 0;                    // messages across buckets
+  std::map<std::uint64_t, std::vector<Message>> far_messages_;  // round → msgs
+
   std::vector<ShardState> shard_state_;          // size shards_ when sharding
   std::unique_ptr<support::WorkerPool> pool_;    // created on first sharded round
 
@@ -366,7 +409,11 @@ inline void Network::commit_send(ShardState* sh, NodeId from, NodeId to,
     edge_load_round_[edge_id] = round_;
     edge_load_[edge_id] = 0;
   }
-  if (++edge_load_[edge_id] > cfg_.edge_capacity) {
+  if (++edge_load_[edge_id] > cfg_.edge_capacity && faults_ == nullptr) {
+    // The per-round capacity discipline is a synchronous-schedule invariant.
+    // Under async delivery a node may legally answer several delayed
+    // arrivals at once; excess sends serialize through the link's FIFO
+    // queue (enqueue_async) instead of faulting.
     throw_over_capacity(sh == nullptr ? outbox_ : sh->outbox, from, to, msg);
   }
   DHC_CHECK(msg.words <= kMaxWords, "message exceeds payload word limit");
@@ -382,8 +429,14 @@ inline void Network::commit_send(ShardState* sh, NodeId from, NodeId to,
   if (sh == nullptr) {
     metrics_.messages += 1;
     metrics_.bits += message_bits_for(msg.words, bits_per_word_);
-    if (node_stats_ == NodeStatsMode::kFull) metrics_.node_messages_received[to] += 1;
     if (cfg_.observer != nullptr) cfg_.observer->on_send(from, to, round_);
+    if (faults_ != nullptr) {
+      // Async regime: the receiver-side bookkeeping happens at maturation,
+      // not send, time (messages counts *sends*; received counts arrivals).
+      enqueue_async(from, to, msg);
+      return;
+    }
+    if (node_stats_ == NodeStatsMode::kFull) metrics_.node_messages_received[to] += 1;
     if (inbox_count_[to]++ == 0) next_active_.push_back(to);
     Message& slot = outbox_.emplace_back(msg);
     slot.from = from;

@@ -40,6 +40,18 @@ struct RoundTrace {
   std::span<const std::uint32_t> shard_active;
 };
 
+/// Fault activity of one async-model round (only rounds with activity are
+/// reported).  The delivery-side counters (crash_dropped) refer to messages
+/// maturing at `round`; the send-side ones (delayed/dropped) to messages
+/// sent by this round's steps.
+struct FaultTrace {
+  std::uint64_t round = 0;
+  std::uint64_t delayed = 0;        ///< sends assigned latency > 1
+  std::uint64_t dropped = 0;        ///< sends lost in transit
+  std::uint64_t crash_dropped = 0;  ///< matured messages dropped at a crashed node
+  std::uint64_t crashed_steps = 0;  ///< activations suppressed by crashes
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -63,6 +75,11 @@ class TraceSink {
     (void)busiest_link;
     (void)charge;
   }
+
+  /// One async-model round's fault activity (fed by the simulator only under
+  /// `--model=async`, and only for rounds where something was delayed,
+  /// dropped, or crashed; default no-op so synchronous sinks need not care).
+  virtual void on_faults(const FaultTrace& t) { (void)t; }
 };
 
 }  // namespace dhc::congest

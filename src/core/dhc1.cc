@@ -698,6 +698,7 @@ Result run_dhc1(const graph::Graph& g, std::uint64_t seed, const Dhc1Config& cfg
   net_cfg.shards = cfg.shards;
   net_cfg.trace = cfg.trace;
   net_cfg.node_stats = cfg.node_stats;
+  net_cfg.faults = cfg.faults;
   congest::Network net(g, net_cfg);
   Dhc1Protocol protocol(n, num_colors, cfg);
   result.metrics = net.run(protocol);

@@ -61,6 +61,10 @@ struct Dhc1Config {
   /// see congest::NetworkConfig::shards).
   std::uint32_t shards = 0;
 
+  /// Optional fault plan: non-null runs the solver under the async delivery
+  /// regime (--model=async; congest/fault_plan.h).  Not owned.
+  const congest::FaultPlan* faults = nullptr;
+
   /// Optional flight-recorder sink (not owned, must outlive the run).
   congest::TraceSink* trace = nullptr;
 

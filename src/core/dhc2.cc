@@ -581,6 +581,7 @@ Result run_dhc2(const graph::Graph& g, std::uint64_t seed, const Dhc2Config& cfg
   net_cfg.shards = cfg.shards;
   net_cfg.trace = cfg.trace;
   net_cfg.node_stats = cfg.node_stats;
+  net_cfg.faults = cfg.faults;
   congest::Network net(g, net_cfg);
   Dhc2Protocol protocol(n, num_colors, cfg);
   result.metrics = net.run(protocol);

@@ -352,6 +352,7 @@ Result run_dra(const graph::Graph& g, std::uint64_t seed, const DraConfig& cfg) 
   net_cfg.shards = cfg.shards;
   net_cfg.trace = cfg.trace;
   net_cfg.node_stats = cfg.node_stats;
+  net_cfg.faults = cfg.faults;
   congest::Network net(g, net_cfg);
   StandaloneDraProtocol protocol(g.n(), cfg);
   result.metrics = net.run(protocol);

@@ -463,6 +463,7 @@ Result run_turau(const graph::Graph& g, std::uint64_t seed, const TurauConfig& c
   net_cfg.shards = cfg.shards;
   net_cfg.trace = cfg.trace;
   net_cfg.node_stats = cfg.node_stats;
+  net_cfg.faults = cfg.faults;
   congest::Network net(g, net_cfg);
   TurauProtocol protocol(g.n(), seed, cfg);
   result.metrics = net.run(protocol);

@@ -214,29 +214,24 @@ class UpcastProtocol : public congest::Protocol {
     // in this pass — each slot belongs to exactly one tree parent, so the
     // stamp sequence is per-parent (pump_stamp_[x]) and pumping nodes in
     // parallel shards never touch each other's slots.  Unsent records are
-    // compacted in order into a thread-local keep buffer (per-round scratch
-    // with no cross-node state, amortized like the old shared member).
+    // compacted in order in place — no scratch buffer, so nothing can
+    // persist on a reused pool thread between trials.
     const std::uint64_t stamp = ++pump_stamp_[x];
-    static thread_local std::vector<std::array<std::int64_t, 3>> rest;
-    rest.clear();
-    for (const auto& rec : q) {
+    q.retain([&](const std::array<std::int64_t, 3>& rec) {
       const auto w = static_cast<NodeId>(rec[0]);
       const NodeId child = route_entry(x, w);
       if (child == kNoNode) {
         // No route: the target never upcast anything (disconnected input);
         // drop the record — verification will fail cleanly.
         ctx.charge_memory(-3);
-        continue;
+        return false;
       }
-      if (child_used_stamp_[child] == stamp) {
-        rest.push_back(rec);
-        continue;
-      }
+      if (child_used_stamp_[child] == stamp) return true;
       child_used_stamp_[child] = stamp;
       ctx.charge_memory(-3);
       ctx.send(child, Message::make(kDown, {rec[0], rec[1], rec[2]}));
-    }
-    q.assign_kept(rest);
+      return false;
+    });
     if (!q.empty()) ctx.wake_in(1);
   }
 
@@ -282,6 +277,7 @@ Result run_upcast(const graph::Graph& g, std::uint64_t seed, const UpcastConfig&
   net_cfg.shards = cfg.shards;
   net_cfg.trace = cfg.trace;
   net_cfg.node_stats = cfg.node_stats;
+  net_cfg.faults = cfg.faults;
   congest::Network net(g, net_cfg);
   UpcastProtocol protocol(g.n(), cfg);
   result.metrics = net.run(protocol);

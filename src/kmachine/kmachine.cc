@@ -77,15 +77,17 @@ std::uint64_t KMachineCost::kmachine_rounds() const {
 namespace {
 
 /// Shared shape of every adapter: copy the base config, let the backend
-/// control the observer and shard knobs, call the solver's entry point.
+/// control the observer, shard, and fault knobs, call the solver's entry
+/// point.
 template <class Config, class RunFn>
 CongestAlgorithm make_adapter(Config base, RunFn run) {
   return [base = std::move(base), run](const graph::Graph& g, std::uint64_t seed,
                                        congest::MessageObserver* observer,
-                                       std::uint32_t shards) {
+                                       std::uint32_t shards, const congest::FaultPlan* faults) {
     Config cfg = base;
     cfg.observer = observer;
     cfg.shards = shards;
+    cfg.faults = faults;
     return run(g, seed, cfg);
   };
 }
@@ -135,7 +137,7 @@ KMachineOutcome run_kmachine(const CongestAlgorithm& algo, const graph::Graph& g
   cost.set_trace(cfg.trace);
 
   KMachineOutcome out;
-  out.result = algo(g, seed, &cost, cfg.shards);
+  out.result = algo(g, seed, &cost, cfg.shards, nullptr);
   cost.finish();
 
   out.report.k = cfg.k;

@@ -131,13 +131,15 @@ struct KMachineReport {
 };
 
 /// An algorithm the backend can drive: run a CONGEST protocol over `g` from
-/// `seed` with `observer` attached and `shards` simulator shards (0 = the
-/// DHC_SHARDS environment default; bitwise-neutral), returning the solver's
+/// `seed` with `observer` attached, `shards` simulator shards (0 = the
+/// DHC_SHARDS environment default; bitwise-neutral), and an optional fault
+/// plan (nullptr = synchronous; non-null switches the simulator to the async
+/// delivery regime — the `--model=async` backend), returning the solver's
 /// Result.  The adapters below wrap the registered algorithms; any lambda
 /// with this shape works too.
 using CongestAlgorithm = std::function<core::Result(
     const graph::Graph& g, std::uint64_t seed, congest::MessageObserver* observer,
-    std::uint32_t shards)>;
+    std::uint32_t shards, const congest::FaultPlan* faults)>;
 
 /// Adapters for the registered CONGEST algorithms.  Each captures a base
 /// config and forwards the backend-controlled knobs (observer, shards).

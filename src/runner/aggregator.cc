@@ -170,6 +170,14 @@ void write_json(std::ostream& os, const std::string& scenario_name,
     os << "      \"merge\": \"" << to_string(c.merge) << "\",\n";
     os << "      \"machines\": " << c.machines << ",\n";
     os << "      \"bandwidth\": " << c.bandwidth << ",\n";
+    if (c.model == ExecutionModel::kAsync) {
+      // Async-only fields, emitted conditionally so every pre-async artifact
+      // stays byte-identical (same pattern as trace_files below).
+      os << "      \"delay_dist\": \"" << json_escape(c.delay_dist) << "\",\n";
+      os << "      \"drop_prob\": " << fmt_num(c.drop_prob) << ",\n";
+      os << "      \"crash_schedule\": \"" << json_escape(c.crash_schedule) << "\",\n";
+      os << "      \"max_rounds\": " << c.max_rounds << ",\n";
+    }
     os << "      \"trials\": " << s.trials << ",\n";
     os << "      \"successes\": " << s.successes << ",\n";
     os << "      \"success_rate\": " << fmt_num(s.success_rate) << ",\n";

@@ -131,6 +131,33 @@ std::vector<BenchPreset> make_presets() {
     presets.push_back(std::move(p));
   }
   {
+    // The async fault-injection backend as a workload family: two solvers
+    // under a small grid of delivery-delay distributions crossed with drop
+    // probabilities.  Exercises the message delay wheel / far map and the
+    // per-message fault hashing on top of the simulator hot path, so it
+    // tracks fault-injection overhead; the fault axes are excluded from the
+    // derived seeds, so the drop_prob=0 column doubles as the paired
+    // control.
+    BenchPreset p;
+    p.name = "fault_sweep";
+    p.description = "dhc2 + turau under async delays x drops (fault-injection bound)";
+    p.scenario.name = "bench-fault-sweep";
+    p.scenario.model = ExecutionModel::kAsync;
+    p.scenario.algos = {Algorithm::kDhc2, Algorithm::kTurau};
+    p.scenario.sizes = {256};
+    p.scenario.deltas = {0.5};
+    p.scenario.cs = {2.5};
+    p.scenario.delay_dists = {"fixed:1", "uniform:1:4"};
+    p.scenario.drop_probs = {0.0, 0.02};
+    // Dropped messages livelock solvers that assume reliable delivery; the
+    // budget turns those cells into fast hit_round_limit failures so the
+    // bench measures fault-injection overhead, not livelock endurance.
+    p.scenario.max_rounds = 200000;
+    p.scenario.seeds = 2;
+    p.scenario.base_seed = 805;
+    presets.push_back(std::move(p));
+  }
+  {
     // CI-sized smoke preset: every solver once, small n, a few seconds.
     BenchPreset p;
     p.name = "perf-smoke";

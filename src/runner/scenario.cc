@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "congest/fault_plan.h"
 #include "support/require.h"
 #include "support/rng.h"
 
@@ -26,7 +27,12 @@ std::string to_string(Algorithm a) {
 }
 
 std::string to_string(ExecutionModel m) {
-  return m == ExecutionModel::kKMachine ? "kmachine" : "congest";
+  switch (m) {
+    case ExecutionModel::kCongest: return "congest";
+    case ExecutionModel::kKMachine: return "kmachine";
+    case ExecutionModel::kAsync: return "async";
+  }
+  return "?";
 }
 
 std::string to_string(GraphFamily f) {
@@ -60,8 +66,9 @@ Algorithm parse_algorithm(const std::string& s) {
 ExecutionModel parse_execution_model(const std::string& s) {
   if (s == "congest") return ExecutionModel::kCongest;
   if (s == "kmachine" || s == "k-machine") return ExecutionModel::kKMachine;
+  if (s == "async") return ExecutionModel::kAsync;
   throw std::invalid_argument("unknown execution model '" + s +
-                              "' (expected congest|kmachine)");
+                              "' (expected congest|kmachine|async)");
 }
 
 GraphFamily parse_graph_family(const std::string& s) {
@@ -109,6 +116,30 @@ void Scenario::validate() const {
                   "in the k-machine model");
     }
   }
+  DHC_REQUIRE(!delay_dists.empty(), "scenario needs at least one delay distribution");
+  DHC_REQUIRE(!drop_probs.empty(), "scenario needs at least one drop probability");
+  DHC_REQUIRE(!crash_schedules.empty(), "scenario needs at least one crash schedule");
+  for (const auto& spec : delay_dists) congest::DelaySpec::parse(spec);  // throws if malformed
+  for (const auto& spec : crash_schedules) congest::CrashSpec::parse(spec);
+  for (const double p : drop_probs) {
+    DHC_REQUIRE(p >= 0.0 && p < 1.0, "drop_prob must lie in [0, 1), got " << p);
+  }
+  if (model == ExecutionModel::kAsync) {
+    for (const Algorithm a : algos) {
+      DHC_REQUIRE(a != Algorithm::kSequential,
+                  "the sequential baseline has no CONGEST execution to run asynchronously");
+      DHC_REQUIRE(a != Algorithm::kDhc2KMachine,
+                  "the legacy dhc2-kmachine algorithm forces the k-machine backend; "
+                  "combine algo dhc2 with model = async instead");
+    }
+  } else {
+    const bool faults_requested = delay_dists != std::vector<std::string>{"none"} ||
+                                  drop_probs != std::vector<double>{0.0} ||
+                                  crash_schedules != std::vector<std::string>{"none"};
+    DHC_REQUIRE(!faults_requested,
+                "delay_dist / drop_prob / crash_schedule need model = async");
+    DHC_REQUIRE(max_rounds == 0, "max_rounds needs model = async");
+  }
 }
 
 namespace {
@@ -149,47 +180,76 @@ std::vector<TrialConfig> expand(const Scenario& s) {
   static const std::vector<std::int64_t> kNoMachines = {0};
   static const std::vector<core::MergeStrategy> kDefaultMerge = {
       core::MergeStrategy::kMinForward};
+  static const std::vector<std::string> kNoFaultSpec = {"none"};
+  static const std::vector<double> kNoDrop = {0.0};
   for (const Algorithm algo : s.algos) {
     // The k-machine backend prices every algorithm when the scenario selects
     // the model; the legacy kDhc2KMachine algorithm forces it for its own
     // cells so old scenarios keep their meaning.
     const bool kmachine =
         s.model == ExecutionModel::kKMachine || algo == Algorithm::kDhc2KMachine;
+    const bool async = s.model == ExecutionModel::kAsync;
     const auto& merges = uses_merge_strategy(algo) ? s.merges : kDefaultMerge;
     const auto& machines = kmachine ? s.machines : kNoMachines;
+    // The fault axes iterate only under model = async (validate() already
+    // rejects non-default axes elsewhere), so non-async scenarios keep the
+    // exact loop structure — and therefore the exact cell numbering and
+    // seeds — they always had.
+    const auto& delay_axis = async ? s.delay_dists : kNoFaultSpec;
+    const auto& drop_axis = async ? s.drop_probs : kNoDrop;
+    const auto& crash_axis = async ? s.crash_schedules : kNoFaultSpec;
     for (const auto size : s.sizes) {
       for (const double delta : s.deltas) {
         for (const double c : s.cs) {
           for (const core::MergeStrategy merge : merges) {
             for (const auto k : machines) {
-              for (std::uint64_t t = 0; t < s.seeds; ++t) {
-                TrialConfig tc;
-                tc.config_index = cell;
-                tc.trial_index = t;
-                tc.algo = algo;
-                tc.model = kmachine ? ExecutionModel::kKMachine : ExecutionModel::kCongest;
-                tc.family = s.family;
-                tc.n = static_cast<graph::NodeId>(size);
-                tc.delta = delta;
-                tc.c = c;
-                tc.merge = merge;
-                tc.machines = static_cast<std::uint32_t>(k);
-                tc.bandwidth = kmachine ? static_cast<std::uint64_t>(s.bandwidth) : 0;
-                // The graph seed depends only on the instance parameters, so
-                // trials that differ in algorithm / merge strategy / machine
-                // count but share (family, n, delta, c, trial) run on the
-                // *same* graph — head-to-head comparisons are paired by
-                // construction.  The algorithm seed is per seed_group:
-                // per-cell except that the machine-count axis is excluded.
-                tc.graph_seed = derive_seed(
-                    s.base_seed,
-                    {static_cast<std::uint64_t>(s.family), static_cast<std::uint64_t>(tc.n),
-                     std::bit_cast<std::uint64_t>(delta), std::bit_cast<std::uint64_t>(c), t},
-                    0x67);
-                tc.algo_seed = derive_seed(s.base_seed, {seed_group, t}, 0xa1);
-                trials.push_back(tc);
+              for (const auto& delay_dist : delay_axis) {
+                for (const double drop_prob : drop_axis) {
+                  for (const auto& crash_schedule : crash_axis) {
+                    for (std::uint64_t t = 0; t < s.seeds; ++t) {
+                      TrialConfig tc;
+                      tc.config_index = cell;
+                      tc.trial_index = t;
+                      tc.algo = algo;
+                      tc.model = kmachine ? ExecutionModel::kKMachine
+                                          : (async ? ExecutionModel::kAsync
+                                                   : ExecutionModel::kCongest);
+                      tc.family = s.family;
+                      tc.n = static_cast<graph::NodeId>(size);
+                      tc.delta = delta;
+                      tc.c = c;
+                      tc.merge = merge;
+                      tc.machines = static_cast<std::uint32_t>(k);
+                      tc.bandwidth = kmachine ? static_cast<std::uint64_t>(s.bandwidth) : 0;
+                      tc.delay_dist = delay_dist;
+                      tc.drop_prob = drop_prob;
+                      tc.crash_schedule = crash_schedule;
+                      tc.max_rounds = async ? s.max_rounds : 0;
+                      // The graph seed depends only on the instance
+                      // parameters, so trials that differ in algorithm /
+                      // merge strategy / machine count / fault intensity but
+                      // share (family, n, delta, c, trial) run on the *same*
+                      // graph — head-to-head comparisons are paired by
+                      // construction.  The algorithm seed is per seed_group:
+                      // per-cell except that the machine-count and fault
+                      // axes are excluded, so cells differing only in k or
+                      // fault intensity run the same underlying execution
+                      // (faults perturb it from identical initial
+                      // randomness).
+                      tc.graph_seed = derive_seed(
+                          s.base_seed,
+                          {static_cast<std::uint64_t>(s.family),
+                           static_cast<std::uint64_t>(tc.n),
+                           std::bit_cast<std::uint64_t>(delta),
+                           std::bit_cast<std::uint64_t>(c), t},
+                          0x67);
+                      tc.algo_seed = derive_seed(s.base_seed, {seed_group, t}, 0xa1);
+                      trials.push_back(tc);
+                    }
+                    ++cell;
+                  }
+                }
               }
-              ++cell;
             }
             ++seed_group;
           }
@@ -299,6 +359,14 @@ Scenario scenario_from_spec(const std::map<std::string, std::string>& spec) {
       s.base_seed = static_cast<std::uint64_t>(parse_int(key, value));
     } else if (key == "node_stats") {
       s.node_stats = congest::parse_node_stats_mode(value);
+    } else if (key == "delay_dist") {
+      s.delay_dists = split_commas(key, value);
+    } else if (key == "drop_prob") {
+      s.drop_probs = parse_double_list(key, value);
+    } else if (key == "crash_schedule") {
+      s.crash_schedules = split_commas(key, value);
+    } else if (key == "max_rounds") {
+      s.max_rounds = static_cast<std::uint64_t>(parse_int(key, value));
     } else {
       throw std::invalid_argument("unknown scenario key '" + key + "'");
     }
@@ -378,6 +446,16 @@ Scenario scenario_from_cli(const support::Cli& cli) {
   if (cli.has("seed")) s.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 0));
   if (cli.has("node_stats")) {
     s.node_stats = congest::parse_node_stats_mode(cli.get_string("node_stats", ""));
+  }
+  if (cli.has("delay_dist")) {
+    s.delay_dists = split_commas("delay_dist", cli.get_string("delay_dist", ""));
+  }
+  if (cli.has("drop_prob")) s.drop_probs = cli.get_double_list("drop_prob", {});
+  if (cli.has("max_rounds")) {
+    s.max_rounds = static_cast<std::uint64_t>(cli.get_int("max_rounds", 0));
+  }
+  if (cli.has("crash_schedule")) {
+    s.crash_schedules = split_commas("crash_schedule", cli.get_string("crash_schedule", ""));
   }
   s.validate();
   return s;

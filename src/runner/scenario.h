@@ -45,8 +45,11 @@ enum class Algorithm : std::uint8_t {
 /// backend (src/kmachine, paper §IV): a random vertex partition over k
 /// machines, per-link bandwidth B, converted rounds = Σ ⌈busiest link /
 /// B⌉.  Under kKMachine the scenario's `machines` list becomes a sweep axis
-/// for *every* algorithm, not just dhc2.
-enum class ExecutionModel : std::uint8_t { kCongest, kKMachine };
+/// for *every* algorithm, not just dhc2.  kAsync runs the same simulation
+/// through the async backend (src/async): seed-deterministic per-edge
+/// delivery delays, message drops, and node crash windows; the fault axes
+/// (`delay_dist`, `drop_prob`, `crash_schedule`) multiply every cell.
+enum class ExecutionModel : std::uint8_t { kCongest, kKMachine, kAsync };
 
 /// Input graph family.  All families are parameterized through (c, δ): the
 /// target edge probability is p = c·ln n / n^δ; G(n, M) matches its expected
@@ -87,6 +90,18 @@ struct Scenario {
   std::vector<std::int64_t> machines = {8};
   /// Per-link bandwidth (messages/round) for the k-machine pricing.
   std::int64_t bandwidth = 32;
+  /// Async fault axes (model = async only; congest/fault_plan.h spec
+  /// grammar).  Each list is a sweep axis multiplying every cell; the
+  /// defaults are the no-fault singletons, so non-async scenarios expand to
+  /// exactly the trial lists (and seeds) they always did.
+  std::vector<std::string> delay_dists = {"none"};
+  std::vector<double> drop_probs = {0.0};
+  std::vector<std::string> crash_schedules = {"none"};
+  /// Per-trial round budget under model = async (0 = engine default).  Fault
+  /// injection can livelock a protocol that assumes reliable synchronous
+  /// delivery; a budget turns that into a fast hit_round_limit failure
+  /// instead of a 50M-round crawl to the engine ceiling.
+  std::uint64_t max_rounds = 0;
   /// Seeded trials per configuration cell.
   std::uint64_t seeds = 5;
   /// Root seed; every trial's graph/algorithm seeds are derived from it.
@@ -118,6 +133,14 @@ struct TrialConfig {
   core::MergeStrategy merge = core::MergeStrategy::kMinForward;
   std::uint32_t machines = 0;     ///< 0 unless model == kKMachine.
   std::uint64_t bandwidth = 0;    ///< 0 unless model == kKMachine.
+  /// Async fault parameters ("none"/0.0 unless model == kAsync).  The fault
+  /// axes are excluded from both derived seeds: trials differing only in
+  /// fault intensity run the same instance with the same protocol
+  /// randomness, so degradation sweeps are paired comparisons.
+  std::string delay_dist = "none";
+  double drop_prob = 0.0;
+  std::string crash_schedule = "none";
+  std::uint64_t max_rounds = 0;   ///< 0 unless model == kAsync (0 = engine default).
   std::uint64_t graph_seed = 0;
   std::uint64_t algo_seed = 0;
 };
@@ -134,8 +157,9 @@ std::vector<TrialConfig> expand(const Scenario& s);
 
 /// Builds a Scenario from a key=value map (the shared core of file and CLI
 /// parsing).  Recognized keys: name, algos (or algo), model, family, sizes,
-/// deltas, cs, merges, machines (or k_list), bandwidth, seeds, seed.
-/// Unknown keys and malformed values throw std::invalid_argument.
+/// deltas, cs, merges, machines (or k_list), bandwidth, seeds, seed,
+/// node_stats, delay_dist, drop_prob, crash_schedule, max_rounds.  Unknown
+/// keys and malformed values throw std::invalid_argument.
 Scenario scenario_from_spec(const std::map<std::string, std::string>& spec);
 
 /// Parses a scenario file: one `key = value` per line, `#` comments and

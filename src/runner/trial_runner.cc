@@ -6,6 +6,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "async/async.h"
+#include "congest/fault_plan.h"
 #include "core/dhc1.h"
 #include "core/dhc2.h"
 #include "core/dra.h"
@@ -192,6 +194,38 @@ void run_kmachine_trial(TrialResult& out, const graph::Graph& g, const TrialConf
   if (verify) verify_incidence(out, g, priced.result.cycle);
 }
 
+// Runs one trial through the async execution backend (src/async): the same
+// CONGEST adapter, with seed-deterministic delivery delays / drops / crash
+// windows injected by the network.  Faulted runs may legitimately fail
+// (hit_round_limit, invalid cycle); the fault accounting lands in stats so
+// artifacts explain *why*.
+void run_async_trial(TrialResult& out, const graph::Graph& g, const TrialConfig& t,
+                     const TrialOptions& opt, trace::TraceRecorder* rec) {
+  const kmachine::CongestAlgorithm algo = congest_algorithm_for(t, rec, opt.node_stats);
+  if (algo == nullptr) {
+    out.failure_reason = "sequential has no CONGEST execution to run under the async model";
+    return;
+  }
+
+  async::AsyncConfig acfg;
+  acfg.delay = congest::DelaySpec::parse(t.delay_dist);
+  acfg.drop_prob = t.drop_prob;
+  acfg.crash = congest::CrashSpec::parse(t.crash_schedule);
+  acfg.max_rounds = t.max_rounds;
+  acfg.shards = opt.shards;
+  auto outcome = async::run_async(algo, g, t.algo_seed, acfg);
+  if (rec != nullptr) rec->finalize(outcome.result.metrics);
+  fill_from_result(out, outcome.result);
+  out.stats["delayed_messages"] = static_cast<double>(outcome.report.delayed_messages);
+  out.stats["dropped_messages"] = static_cast<double>(outcome.report.dropped_messages);
+  out.stats["crash_dropped_messages"] =
+      static_cast<double>(outcome.report.crash_dropped_messages);
+  out.stats["crashed_steps"] = static_cast<double>(outcome.report.crashed_steps);
+  out.stats["crashed_nodes"] = static_cast<double>(outcome.report.crashed_nodes);
+  out.stats["hit_round_limit"] = outcome.report.hit_round_limit ? 1.0 : 0.0;
+  if (opt.verify) verify_incidence(out, g, outcome.result.cycle);
+}
+
 TrialResult run_trial_unchecked(const TrialConfig& t, const TrialOptions& opt) {
   const bool verify = opt.verify;
   const std::uint32_t shards = opt.shards;
@@ -226,6 +260,8 @@ TrialResult run_trial_unchecked(const TrialConfig& t, const TrialOptions& opt) {
 
   if (t.model == ExecutionModel::kKMachine || t.algo == Algorithm::kDhc2KMachine) {
     run_kmachine_trial(out, g, t, opt, rec);
+  } else if (t.model == ExecutionModel::kAsync) {
+    run_async_trial(out, g, t, opt, rec);
   } else if (t.algo == Algorithm::kSequential) {
     support::Rng rng(t.algo_seed);
     const auto r = core::rotation_hamiltonian_cycle(g, rng);
@@ -245,8 +281,8 @@ TrialResult run_trial_unchecked(const TrialConfig& t, const TrialOptions& opt) {
   } else {
     // Plain CONGEST execution, through the same adapter the k-machine path
     // uses (no observer attached).
-    auto r = congest_algorithm_for(t, rec, opt.node_stats)(g, t.algo_seed,
-                                                           /*observer=*/nullptr, shards);
+    auto r = congest_algorithm_for(t, rec, opt.node_stats)(
+        g, t.algo_seed, /*observer=*/nullptr, shards, /*faults=*/nullptr);
     if (rec != nullptr) rec->finalize(r.metrics);
     fill_from_result(out, r);
     if (verify) verify_incidence(out, g, r.cycle);
@@ -298,6 +334,13 @@ ResolvedParallelism resolve_parallelism(std::size_t trial_count, const RunnerOpt
   const unsigned budget = opt.threads == 0 ? hw : std::max(1u, std::min(opt.threads, hw));
 
   ResolvedParallelism r;
+  if (trial_count == 0) {
+    // Nothing to run: report the neutral 1×1 split instead of falling into
+    // the few-huge-trials branch, which would hand the whole budget to the
+    // shard axis of trials that don't exist (and record that fiction in
+    // bench artifacts).
+    return r;
+  }
   if (opt.shards != 0) {
     // Explicit shard count: honored verbatim — the shard *partition* is a
     // determinism knob, not a thread count; the in-trial pool caps its own

@@ -46,12 +46,23 @@ class FlatQueue {
   const T* begin() const { return items_.data() + head_; }
   const T* end() const { return items_.data() + items_.size(); }
 
-  /// Replaces the contents with `kept` (reusing storage); used by scan-and-
-  /// keep passes that filter the queue in one sweep.
-  void assign_kept(std::vector<T>& kept) {
-    items_.swap(kept);
+  /// One-sweep stable filter: keeps the elements `keep` returns true for, in
+  /// order, compacting them in place to the front of the storage.  Replaces
+  /// the old swap-with-scratch-buffer idiom (`assign_kept`), which needed a
+  /// caller-owned keep vector — a footgun on the persistent worker pool,
+  /// where a `static thread_local` scratch buffer outlives the trial that
+  /// grew it.  In-place compaction has no scratch state at all.
+  template <typename Pred>
+  void retain(Pred&& keep) {
+    std::size_t w = 0;
+    for (std::size_t r = head_; r < items_.size(); ++r) {
+      if (keep(items_[r])) {
+        if (w != r) items_[w] = std::move(items_[r]);
+        ++w;
+      }
+    }
+    items_.resize(w);
     head_ = 0;
-    kept.clear();
   }
 
  private:

@@ -88,6 +88,9 @@ TraceData read_trace(std::istream& in) {
       data.barriers.push_back({v.u64("r"), v.u64("charge")});
     } else if (type == "kround") {
       data.krounds.push_back({v.u64("r"), v.u64("busiest"), v.u64("charge")});
+    } else if (type == "fault") {
+      data.faults.push_back({v.u64("r"), v.u64("delayed"), v.u64("dropped"),
+                             v.u64("crash_dropped"), v.u64("crashed_steps")});
     } else if (type == "span") {
       PhaseSpan s;
       s.label = v.str("label");
@@ -114,8 +117,8 @@ TraceData read_trace(std::istream& in) {
                                   ": unknown record type \"" + type + '"');
     }
   }
-  if (data.schema != 1) {
-    throw std::invalid_argument("trace stream missing schema-1 meta line");
+  if (data.schema != 1 && data.schema != 2) {
+    throw std::invalid_argument("trace stream missing a schema-1/2 meta line");
   }
   return data;
 }

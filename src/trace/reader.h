@@ -1,5 +1,5 @@
-// Reads a flight-recorder NDJSON trace (schema v1, see recorder.h) back into
-// typed records for the dhc_trace tool and tests.
+// Reads a flight-recorder NDJSON trace (schema v1 or v2, see recorder.h)
+// back into typed records for the dhc_trace tool and tests.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +27,7 @@ struct TraceData {
   std::vector<RoundRecord> rounds;        ///< phase index resolved vs `phases`
   std::vector<BarrierRecord> barriers;
   std::vector<KRoundRecord> krounds;
+  std::vector<FaultRecord> faults;        ///< schema v2 async runs only
   std::vector<PhaseSpan> spans;
 
   std::map<std::string, std::uint64_t> summary;
@@ -43,7 +44,7 @@ struct TraceData {
 };
 
 /// Parses one NDJSON trace stream.  Throws std::invalid_argument on malformed
-/// lines or unknown line types (schema v1 is closed).
+/// lines or unknown line types (the schema is closed per version).
 TraceData read_trace(std::istream& in);
 
 /// Convenience: opens and reads `path`; throws std::runtime_error when the

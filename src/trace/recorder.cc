@@ -68,6 +68,10 @@ void TraceRecorder::on_kround(std::uint64_t congest_round, std::uint64_t busiest
   kround_charge_total_ += charge;
 }
 
+void TraceRecorder::on_faults(const congest::FaultTrace& t) {
+  faults_.push_back({t.round, t.delayed, t.dropped, t.crash_dropped, t.crashed_steps});
+}
+
 void TraceRecorder::finalize(const congest::Metrics& metrics) {
   metrics_ = metrics;
   // Only the totals, summaries, and phase marks are needed for the summary
@@ -136,7 +140,7 @@ void TraceRecorder::write_ndjson(std::ostream& os, const TraceWriteOptions& opt)
   DHC_REQUIRE(finalized_, "TraceRecorder::write_ndjson requires finalize()");
   const auto wall = [&](std::uint64_t ns) { return opt.walls ? ns : 0; };
 
-  os << "{\"type\":\"meta\",\"schema\":1"
+  os << "{\"type\":\"meta\",\"schema\":2"
      << ",\"algo\":\"" << json_escape(meta_.algo) << '"'
      << ",\"model\":\"" << json_escape(meta_.model) << '"'
      << ",\"family\":\"" << json_escape(meta_.family) << '"'
@@ -151,21 +155,25 @@ void TraceRecorder::write_ndjson(std::ostream& os, const TraceWriteOptions& opt)
   if (opt.shard_profile) os << ",\"shards\":" << meta_.shards;
   os << "}\n";
 
-  // The chronological stream: phase marks, rounds, k-round charges, and
-  // barriers merged by round (a phase mark at round R precedes R's record; a
-  // k-round charge and a barrier at R follow it).
-  std::size_t pi = 0, ri = 0, ki = 0, bi = 0;
-  const auto phase_key = [&] { return pi < phases_.size() ? phases_[pi].from_round * 4 + 0
+  // The chronological stream: phase marks, rounds, fault deltas, k-round
+  // charges, and barriers merged by round (a phase mark at round R precedes
+  // R's record; a fault delta, a k-round charge, and a barrier at R follow
+  // it, in that order).
+  std::size_t pi = 0, ri = 0, fi = 0, ki = 0, bi = 0;
+  const auto phase_key = [&] { return pi < phases_.size() ? phases_[pi].from_round * 8 + 0
                                                           : ~std::uint64_t{0}; };
-  const auto round_key = [&] { return ri < rounds_.size() ? rounds_[ri].round * 4 + 1
+  const auto round_key = [&] { return ri < rounds_.size() ? rounds_[ri].round * 8 + 1
                                                           : ~std::uint64_t{0}; };
-  const auto kround_key = [&] { return ki < krounds_.size() ? krounds_[ki].congest_round * 4 + 2
+  const auto fault_key = [&] { return fi < faults_.size() ? faults_[fi].round * 8 + 2
+                                                          : ~std::uint64_t{0}; };
+  const auto kround_key = [&] { return ki < krounds_.size() ? krounds_[ki].congest_round * 8 + 3
                                                             : ~std::uint64_t{0}; };
-  const auto barrier_key = [&] { return bi < barriers_.size() ? barriers_[bi].round * 4 + 3
+  const auto barrier_key = [&] { return bi < barriers_.size() ? barriers_[bi].round * 8 + 4
                                                               : ~std::uint64_t{0}; };
   while (true) {
-    const std::uint64_t keys[4] = {phase_key(), round_key(), kround_key(), barrier_key()};
-    const std::uint64_t best = std::min({keys[0], keys[1], keys[2], keys[3]});
+    const std::uint64_t keys[5] = {phase_key(), round_key(), fault_key(), kround_key(),
+                                   barrier_key()};
+    const std::uint64_t best = std::min({keys[0], keys[1], keys[2], keys[3], keys[4]});
     if (best == ~std::uint64_t{0}) break;
     if (best == keys[0]) {
       os << "{\"type\":\"phase\",\"label\":\"" << json_escape(phases_[pi].label)
@@ -192,6 +200,12 @@ void TraceRecorder::write_ndjson(std::ostream& os, const TraceWriteOptions& opt)
       os << "}\n";
       ++ri;
     } else if (best == keys[2]) {
+      const FaultRecord& f = faults_[fi];
+      os << "{\"type\":\"fault\",\"r\":" << f.round << ",\"delayed\":" << f.delayed
+         << ",\"dropped\":" << f.dropped << ",\"crash_dropped\":" << f.crash_dropped
+         << ",\"crashed_steps\":" << f.crashed_steps << "}\n";
+      ++fi;
+    } else if (best == keys[3]) {
       os << "{\"type\":\"kround\",\"r\":" << krounds_[ki].congest_round
          << ",\"busiest\":" << krounds_[ki].busiest << ",\"charge\":" << krounds_[ki].charge
          << "}\n";
@@ -220,6 +234,13 @@ void TraceRecorder::write_ndjson(std::ostream& os, const TraceWriteOptions& opt)
      << ",\"max_node_peak_memory\":" << metrics_.max_node_peak_memory()
      << ",\"max_node_compute\":" << metrics_.max_node_compute();
   if (!krounds_.empty()) os << ",\"kmachine_rounds\":" << kround_charge_total_;
+  if (metrics_.delayed_messages != 0 || metrics_.dropped_messages != 0 ||
+      metrics_.crash_dropped_messages != 0 || metrics_.crashed_steps != 0) {
+    os << ",\"delayed_messages\":" << metrics_.delayed_messages
+       << ",\"dropped_messages\":" << metrics_.dropped_messages
+       << ",\"crash_dropped_messages\":" << metrics_.crash_dropped_messages
+       << ",\"crashed_steps\":" << metrics_.crashed_steps;
+  }
   os << "}\n";
 
   os << "{\"type\":\"outcome\",\"success\":" << (success_ ? "true" : "false")

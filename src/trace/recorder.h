@@ -2,13 +2,16 @@
 // as NDJSON (newline-delimited JSON, one record per line — streamable,
 // grep-able, diff-able).
 //
-// Schema v1 (DESIGN.md §7).  Line types, in file order:
+// Schema v2 (DESIGN.md §7; v2 = v1 plus the "fault" line type for async
+// runs).  Line types, in file order:
 //
 //   meta     run identity: algo/model/family/n/m/seeds/…, node_stats mode,
 //            and (shard-profile fields) the shard count
 //   phase    a phase mark: {"type":"phase","label":L,"from":R}
 //   round    one executed round: r, phase label, active, sent, bits, wake,
 //            wall_ns, and on sharded rounds the per-shard profile arrays
+//   fault    per-round fault-injection deltas (async runs, rounds where
+//            something was delayed/dropped/crashed only)
 //   barrier  a quiescence barrier: round it fired after + round charge
 //   kround   one k-machine-priced CONGEST round (k-machine runs only)
 //   span     per-phase rollup computed at finalize: [from,to) rounds,
@@ -85,6 +88,16 @@ struct KRoundRecord {
   std::uint64_t charge = 0;
 };
 
+/// Per-round fault-injection deltas (async runs; emitted only for rounds
+/// where at least one counter is nonzero).  Mirrors congest::FaultTrace.
+struct FaultRecord {
+  std::uint64_t round = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t crash_dropped = 0;
+  std::uint64_t crashed_steps = 0;
+};
+
 /// Per-phase rollup over one span [from, to): computed by finalize().  Spans
 /// partition [first round, rounds + 1); rounds executed before the first
 /// phase mark get a synthetic "(untagged)" span so Σ span counters always
@@ -120,6 +133,7 @@ class TraceRecorder final : public congest::TraceSink {
   void on_barrier(std::uint64_t round, std::uint64_t charge_rounds) override;
   void on_kround(std::uint64_t congest_round, std::uint64_t busiest_link,
                  std::uint64_t charge) override;
+  void on_faults(const congest::FaultTrace& t) override;
 
   /// Computes the per-phase spans and captures the run totals.  Call once,
   /// after the run; write_ndjson() requires it.
@@ -135,6 +149,7 @@ class TraceRecorder final : public congest::TraceSink {
   const std::vector<RoundRecord>& rounds() const { return rounds_; }
   const std::vector<BarrierRecord>& barriers() const { return barriers_; }
   const std::vector<KRoundRecord>& krounds() const { return krounds_; }
+  const std::vector<FaultRecord>& faults() const { return faults_; }
   const std::vector<PhaseSpan>& spans() const { return spans_; }
   std::uint64_t kmachine_rounds_total() const { return kround_charge_total_; }
   const congest::Metrics& metrics() const { return metrics_; }
@@ -146,6 +161,7 @@ class TraceRecorder final : public congest::TraceSink {
   std::vector<RoundRecord> rounds_;
   std::vector<BarrierRecord> barriers_;
   std::vector<KRoundRecord> krounds_;
+  std::vector<FaultRecord> faults_;
   std::vector<PhaseSpan> spans_;
   std::uint64_t kround_charge_total_ = 0;
   congest::Metrics metrics_;  // node vectors cleared at finalize (totals only)

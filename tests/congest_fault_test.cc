@@ -1,0 +1,405 @@
+// Tests for the fault-injection layer of the async execution model:
+// DelaySpec / CrashSpec parsing, FaultPlan hash purity and nesting, the
+// Network's delayed/dropped/crashed delivery semantics, and the boundary
+// behaviour of both wheels (wake-up and message delay) at kWheelSize.
+#include "congest/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+
+namespace dhc::congest {
+namespace {
+
+using graph::Graph;
+
+class LambdaProtocol : public Protocol {
+ public:
+  std::function<void(Context&)> on_begin = [](Context&) {};
+  std::function<void(Context&)> on_step = [](Context&) {};
+  std::function<bool(Network&)> on_quiet = [](Network&) { return false; };
+
+  void begin(Context& ctx) override { on_begin(ctx); }
+  void step(Context& ctx) override { on_step(ctx); }
+  bool on_quiescence(Network& net) override { return on_quiet(net); }
+};
+
+// --- spec parsing ----------------------------------------------------------
+
+TEST(DelaySpec, ParsesEveryKind) {
+  EXPECT_EQ(DelaySpec::parse("none").kind, DelaySpec::Kind::kNone);
+
+  const DelaySpec fixed = DelaySpec::parse("fixed:7");
+  EXPECT_EQ(fixed.kind, DelaySpec::Kind::kFixed);
+  EXPECT_EQ(fixed.a, 7u);
+
+  const DelaySpec uniform = DelaySpec::parse("uniform:2:9");
+  EXPECT_EQ(uniform.kind, DelaySpec::Kind::kUniform);
+  EXPECT_EQ(uniform.a, 2u);
+  EXPECT_EQ(uniform.b, 9u);
+
+  const DelaySpec geo = DelaySpec::parse("geometric:0.25");
+  EXPECT_EQ(geo.kind, DelaySpec::Kind::kGeometric);
+  EXPECT_DOUBLE_EQ(geo.p, 0.25);
+}
+
+TEST(DelaySpec, RoundTripsThroughToString) {
+  for (const char* spec : {"none", "fixed:3", "uniform:1:4", "geometric:0.5"}) {
+    const DelaySpec parsed = DelaySpec::parse(spec);
+    EXPECT_EQ(DelaySpec::parse(parsed.to_string()).to_string(), parsed.to_string()) << spec;
+  }
+}
+
+TEST(DelaySpec, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "nope", "fixed", "fixed:0", "fixed:x", "uniform:3",
+                          "uniform:5:2", "uniform:0:4", "geometric:0", "geometric:1.5",
+                          "fixed:1:2"}) {
+    EXPECT_THROW(DelaySpec::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(CrashSpec, ParsesAndRejects) {
+  EXPECT_EQ(CrashSpec::parse("none").kind, CrashSpec::Kind::kNone);
+  const CrashSpec c = CrashSpec::parse("random:0.25:10:40");
+  EXPECT_EQ(c.kind, CrashSpec::Kind::kRandom);
+  EXPECT_DOUBLE_EQ(c.fraction, 0.25);
+  EXPECT_EQ(c.start, 10u);
+  EXPECT_EQ(c.duration, 40u);
+  EXPECT_TRUE(c.active());
+  EXPECT_FALSE(CrashSpec::parse("none").active());
+
+  for (const char* bad : {"", "crash", "random", "random:0.5", "random:0.5:1",
+                          "random:1.0:1:1", "random:-0.1:1:1", "random:0.5:1:1:9"}) {
+    EXPECT_THROW(CrashSpec::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+// --- FaultPlan hash purity -------------------------------------------------
+
+TEST(FaultPlan, DecisionsArePureFunctionsOfTheArguments) {
+  const FaultPlan plan(DelaySpec::parse("uniform:1:6"), 0.3,
+                       CrashSpec::parse("random:0.4:5:10"), /*fault_seed=*/123);
+  const FaultPlan again(DelaySpec::parse("uniform:1:6"), 0.3,
+                        CrashSpec::parse("random:0.4:5:10"), /*fault_seed=*/123);
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = 0; v < 20; ++v) {
+      EXPECT_EQ(plan.delay(u, v), plan.delay(u, v));
+      EXPECT_EQ(plan.delay(u, v), again.delay(u, v));
+      EXPECT_EQ(plan.drop(u, v, 7), again.drop(u, v, 7));
+    }
+    EXPECT_EQ(plan.crashed(u, 8), again.crashed(u, 8));
+  }
+}
+
+TEST(FaultPlan, DistinctSeedsGiveDistinctStreams) {
+  const FaultPlan a(DelaySpec::parse("uniform:1:100"), 0.5, {}, 1);
+  const FaultPlan b(DelaySpec::parse("uniform:1:100"), 0.5, {}, 2);
+  bool any_delay_differs = false;
+  bool any_drop_differs = false;
+  for (NodeId u = 0; u < 40 && !(any_delay_differs && any_drop_differs); ++u) {
+    for (NodeId v = 0; v < 40; ++v) {
+      any_delay_differs |= a.delay(u, v) != b.delay(u, v);
+      any_drop_differs |= a.drop(u, v, 3) != b.drop(u, v, 3);
+    }
+  }
+  EXPECT_TRUE(any_delay_differs);
+  EXPECT_TRUE(any_drop_differs);
+}
+
+TEST(FaultPlan, DelayRespectsTheConfiguredDistribution) {
+  const FaultPlan none({}, 0.0, {}, 9);
+  const FaultPlan fixed(DelaySpec::parse("fixed:5"), 0.0, {}, 9);
+  const FaultPlan uniform(DelaySpec::parse("uniform:2:4"), 0.0, {}, 9);
+  const FaultPlan geo(DelaySpec::parse("geometric:0.5"), 0.0, {}, 9);
+  std::set<std::uint64_t> uniform_values;
+  for (NodeId u = 0; u < 50; ++u) {
+    for (NodeId v = 0; v < 50; ++v) {
+      EXPECT_EQ(none.delay(u, v), 1u);
+      EXPECT_EQ(fixed.delay(u, v), 5u);
+      const std::uint64_t d = uniform.delay(u, v);
+      EXPECT_GE(d, 2u);
+      EXPECT_LE(d, 4u);
+      uniform_values.insert(d);
+      EXPECT_GE(geo.delay(u, v), 1u);
+    }
+  }
+  // All three values of {2,3,4} appear over 2500 edges.
+  EXPECT_EQ(uniform_values.size(), 3u);
+}
+
+TEST(FaultPlan, DropStreamsAreNestedAcrossProbabilities) {
+  // Common-random-numbers pairing: the messages lost at p=0.05 are a subset
+  // of those lost at p=0.3 under the same fault seed.
+  const FaultPlan lo({}, 0.05, {}, 77);
+  const FaultPlan hi({}, 0.3, {}, 77);
+  std::uint64_t lo_drops = 0;
+  std::uint64_t hi_drops = 0;
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = 0; v < 40; ++v) {
+      for (std::uint64_t r = 1; r <= 4; ++r) {
+        const bool lo_drop = lo.drop(u, v, r);
+        const bool hi_drop = hi.drop(u, v, r);
+        lo_drops += lo_drop;
+        hi_drops += hi_drop;
+        if (lo_drop) EXPECT_TRUE(hi_drop) << u << "->" << v << " r" << r;
+      }
+    }
+  }
+  EXPECT_GT(lo_drops, 0u);
+  EXPECT_GT(hi_drops, lo_drops);
+}
+
+TEST(FaultPlan, CrashWindowMatchesTheSchedule) {
+  const CrashSpec spec = CrashSpec::parse("random:0.5:10:5");
+  const FaultPlan plan({}, 0.0, spec, 31);
+  const NodeId n = 64;
+  const std::uint64_t scheduled = plan.crashed_node_count(n);
+  EXPECT_GT(scheduled, 0u);
+  EXPECT_LT(scheduled, static_cast<std::uint64_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint64_t r = 0; r < 20; ++r) {
+      const bool in_window = r >= 10 && r < 15;
+      EXPECT_EQ(plan.crashed(v, r), plan.crash_scheduled(v) && in_window)
+          << "v=" << v << " r=" << r;
+    }
+  }
+}
+
+TEST(FaultPlan, RejectsOutOfRangeDropProbability) {
+  EXPECT_THROW(FaultPlan({}, 1.0, {}, 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan({}, -0.1, {}, 1), std::invalid_argument);
+}
+
+// --- network delivery semantics under a plan -------------------------------
+
+TEST(AsyncNetwork, FixedDelayPostponesDeliveryAndCounts) {
+  const Graph g = graph::path_graph(2);
+  const FaultPlan plan(DelaySpec::parse("fixed:3"), 0.0, {}, 5);
+  NetworkConfig cfg;
+  cfg.faults = &plan;
+  Network net(g, cfg);
+  LambdaProtocol p;
+  std::uint64_t arrival_round = 0;
+  p.on_begin = [](Context& ctx) {
+    if (ctx.self() == 0) ctx.send(1, Message::make(7, {42}));
+  };
+  p.on_step = [&](Context& ctx) {
+    for (const auto& m : ctx.inbox()) {
+      EXPECT_EQ(m.tag, 7);
+      EXPECT_EQ(m.data[0], 42);
+      arrival_round = ctx.round();
+    }
+  };
+  const auto metrics = net.run(p);
+  EXPECT_EQ(arrival_round, 3u);
+  EXPECT_EQ(metrics.messages, 1u);
+  EXPECT_EQ(metrics.delayed_messages, 1u);
+  EXPECT_EQ(metrics.dropped_messages, 0u);
+  EXPECT_EQ(metrics.rounds, 3u);
+}
+
+TEST(AsyncNetwork, NoFaultPlanFieldsStayZeroWithNullPlan) {
+  const Graph g = graph::path_graph(2);
+  Network net(g, {});
+  LambdaProtocol p;
+  p.on_begin = [](Context& ctx) {
+    if (ctx.self() == 0) ctx.send(1, Message::make(1));
+  };
+  const auto metrics = net.run(p);
+  EXPECT_EQ(metrics.delayed_messages, 0u);
+  EXPECT_EQ(metrics.dropped_messages, 0u);
+  EXPECT_EQ(metrics.crash_dropped_messages, 0u);
+  EXPECT_EQ(metrics.crashed_steps, 0u);
+}
+
+TEST(AsyncNetwork, DropsAreAccountedAndNeverDelivered) {
+  // Star: every leaf floods the center for several rounds at drop_prob 0.5.
+  const Graph g = graph::star_graph(32);
+  const FaultPlan plan({}, 0.5, {}, 21);
+  NetworkConfig cfg;
+  cfg.faults = &plan;
+  Network net(g, cfg);
+  LambdaProtocol p;
+  std::uint64_t received = 0;
+  p.on_begin = [](Context& ctx) {
+    if (ctx.self() != 0) {
+      ctx.send(0, Message::make(1));
+      ctx.wake_in(1);
+    }
+  };
+  p.on_step = [&](Context& ctx) {
+    received += ctx.inbox().size();
+    if (ctx.self() != 0 && ctx.round() < 4) {
+      ctx.send(0, Message::make(1));
+      ctx.wake_in(1);
+    }
+  };
+  const auto metrics = net.run(p);
+  EXPECT_GT(metrics.dropped_messages, 0u);
+  EXPECT_GT(received, 0u);
+  EXPECT_EQ(received + metrics.dropped_messages, metrics.messages);
+}
+
+TEST(AsyncNetwork, CrashedReceiverLosesMessagesAndSkipsSteps) {
+  // Find a fault seed where exactly node 1 of a 2-path has a crash window
+  // over rounds [1, 4); send into the window and assert the message is
+  // charged to crash_dropped_messages and the node never observes it.
+  const CrashSpec spec = CrashSpec::parse("random:0.5:1:3");
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 1; s < 200; ++s) {
+    const FaultPlan probe({}, 0.0, spec, s);
+    if (probe.crash_scheduled(1) && !probe.crash_scheduled(0)) {
+      seed = s;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u);
+  const FaultPlan plan({}, 0.0, spec, seed);
+
+  const Graph g = graph::path_graph(2);
+  NetworkConfig cfg;
+  cfg.faults = &plan;
+  Network net(g, cfg);
+  LambdaProtocol p;
+  std::uint64_t node1_arrivals = 0;
+  p.on_begin = [](Context& ctx) {
+    if (ctx.self() == 0) ctx.send(1, Message::make(4));  // arrives round 1: crashed
+  };
+  p.on_step = [&](Context& ctx) {
+    if (ctx.self() == 1) node1_arrivals += ctx.inbox().size();
+  };
+  const auto metrics = net.run(p);
+  EXPECT_EQ(node1_arrivals, 0u);
+  EXPECT_EQ(metrics.crash_dropped_messages, 1u);
+}
+
+TEST(AsyncNetwork, CrashedNodeDoesNotStepInsideItsWindow) {
+  const CrashSpec spec = CrashSpec::parse("random:0.5:2:2");
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 1; s < 200; ++s) {
+    if (FaultPlan({}, 0.0, spec, s).crash_scheduled(1)) {
+      seed = s;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u);
+  const FaultPlan plan({}, 0.0, spec, seed);
+
+  const Graph g = graph::path_graph(2);
+  NetworkConfig cfg;
+  cfg.faults = &plan;
+  Network net(g, cfg);
+  LambdaProtocol p;
+  std::vector<std::uint64_t> node1_steps;
+  p.on_begin = [](Context& ctx) {
+    if (ctx.self() == 1) ctx.wake_in(1);
+  };
+  p.on_step = [&](Context& ctx) {
+    if (ctx.self() != 1) return;
+    node1_steps.push_back(ctx.round());
+    if (ctx.round() < 5) ctx.wake_in(1);
+  };
+  const auto metrics = net.run(p);
+  for (const std::uint64_t r : node1_steps) {
+    EXPECT_TRUE(r < 2 || r >= 4) << "stepped at crashed round " << r;
+  }
+  EXPECT_GT(metrics.crashed_steps, 0u);
+}
+
+// --- wheel boundaries ------------------------------------------------------
+
+class WheelBoundary : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WheelBoundary, WakeInAroundTheWheelCapacityFiresExactly) {
+  const std::uint64_t delay = GetParam();
+  const Graph g = graph::path_graph(2);
+  Network net(g, {});
+  LambdaProtocol p;
+  std::uint64_t woke_at = 0;
+  p.on_begin = [&](Context& ctx) {
+    if (ctx.self() == 0) ctx.wake_in(delay);
+  };
+  p.on_step = [&](Context& ctx) {
+    if (ctx.self() == 0) woke_at = ctx.round();
+  };
+  const auto metrics = net.run(p);
+  EXPECT_EQ(woke_at, delay);
+  EXPECT_EQ(metrics.rounds, delay);
+}
+
+TEST_P(WheelBoundary, MessageDelayAroundTheWheelCapacityArrivesExactly) {
+  const std::uint64_t delay = GetParam();
+  const Graph g = graph::path_graph(2);
+  DelaySpec spec;
+  spec.kind = DelaySpec::Kind::kFixed;
+  spec.a = delay;
+  const FaultPlan plan(spec, 0.0, {}, 13);
+  NetworkConfig cfg;
+  cfg.faults = &plan;
+  Network net(g, cfg);
+  LambdaProtocol p;
+  std::uint64_t arrival_round = 0;
+  p.on_begin = [](Context& ctx) {
+    if (ctx.self() == 0) ctx.send(1, Message::make(2, {9}));
+  };
+  p.on_step = [&](Context& ctx) {
+    if (ctx.self() == 1 && !ctx.inbox().empty()) arrival_round = ctx.round();
+  };
+  const auto metrics = net.run(p);
+  EXPECT_EQ(arrival_round, delay);
+  EXPECT_EQ(metrics.rounds, delay);
+  EXPECT_EQ(metrics.delayed_messages, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundKWheelSize, WheelBoundary,
+                         ::testing::Values(Network::kWheelSize - 1, Network::kWheelSize,
+                                           Network::kWheelSize + 1));
+
+TEST(AsyncNetwork, FarDelaysBeyondTheWheelPreserveSendOrderPerEdge) {
+  // Two messages on the same directed edge, sent in consecutive rounds with
+  // a far (beyond-the-wheel) fixed latency, must arrive in send order.
+  const Graph g = graph::path_graph(2);
+  DelaySpec spec;
+  spec.kind = DelaySpec::Kind::kFixed;
+  spec.a = Network::kWheelSize + 50;
+  const FaultPlan plan(spec, 0.0, {}, 3);
+  NetworkConfig cfg;
+  cfg.faults = &plan;
+  Network net(g, cfg);
+  LambdaProtocol p;
+  std::vector<std::int64_t> arrivals;
+  p.on_begin = [](Context& ctx) {
+    if (ctx.self() == 0) {
+      ctx.send(1, Message::make(1, {10}));
+      ctx.wake_in(1);
+    }
+  };
+  p.on_step = [&](Context& ctx) {
+    if (ctx.self() == 0 && ctx.round() == 1) ctx.send(1, Message::make(1, {11}));
+    for (const auto& m : ctx.inbox()) arrivals.push_back(m.data[0]);
+  };
+  net.run(p);
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 10);
+  EXPECT_EQ(arrivals[1], 11);
+}
+
+TEST(AsyncNetwork, RoundLimitFromThePlanTurnsDivergenceIntoReporting) {
+  const Graph g = graph::path_graph(2);
+  const FaultPlan plan({}, 0.0, {}, 5, /*round_limit=*/8);
+  NetworkConfig cfg;
+  cfg.faults = &plan;
+  Network net(g, cfg);
+  LambdaProtocol p;
+  p.on_begin = [](Context& ctx) { ctx.wake_in(1); };
+  p.on_step = [](Context& ctx) { ctx.wake_in(1); };  // ping forever
+  const auto metrics = net.run(p);
+  EXPECT_TRUE(metrics.hit_round_limit);
+}
+
+}  // namespace
+}  // namespace dhc::congest

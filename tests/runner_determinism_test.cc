@@ -219,5 +219,56 @@ TEST(ResolveParallelism, NeverReturnsZero) {
   EXPECT_GE(par.shards, 1u);
 }
 
+TEST(ResolveParallelism, ZeroTrialsResolveToTheNeutralSplit) {
+  // An empty trial list used to fall into the few-huge-trials branch and
+  // hand the entire budget to the shard axis of trials that don't exist;
+  // bench artifacts then recorded that fictional split.
+  RunnerOptions opt;
+  opt.threads = 8;
+  const auto par = resolve_parallelism(/*trial_count=*/0, opt);
+  EXPECT_EQ(par.threads, 1u);
+  EXPECT_EQ(par.shards, 1u);
+}
+
+TEST(ResolveParallelism, ThreadsTimesLanesNeverExceedTheBudget) {
+  const unsigned hw = support::WorkerPool::hardware_lanes();
+  for (const unsigned threads : {1u, 2u, 5u, 8u, 64u}) {
+    for (const std::size_t trials : {1ul, 2ul, 3ul, 7ul, 100ul}) {
+      RunnerOptions opt;
+      opt.threads = threads;
+      const unsigned budget = std::max(1u, std::min(threads, hw));
+      const auto par = resolve_parallelism(trials, opt);
+      const unsigned lanes_per_trial = std::min<unsigned>(par.shards, budget);
+      EXPECT_LE(par.threads * lanes_per_trial, budget)
+          << "threads=" << threads << " trials=" << trials;
+      EXPECT_LE(par.threads, trials) << "threads=" << threads << " trials=" << trials;
+    }
+  }
+}
+
+TEST(TrialRunner, BackToBackTrialsOnAPersistentPoolAreBitwiseIdentical) {
+  // Regression for cross-trial state on reused pool threads: upcast's
+  // downcast pump once kept a `static thread_local` scratch buffer, so a
+  // worker thread's second trial started with a different allocator/footprint
+  // state than a fresh thread's first.  Running the same scenario twice
+  // through one persistent 1-thread pool (same worker thread serves every
+  // trial) must reproduce the fresh-run results bitwise.
+  Scenario s;
+  s.algos = {Algorithm::kUpcast, Algorithm::kCollectAll};
+  s.sizes = {64};
+  s.deltas = {0.5};
+  s.cs = {4.0};
+  s.seeds = 2;
+  s.base_seed = 31;
+  const auto trials = expand(s);
+
+  const auto fresh = run_trials(trials, {.threads = 1});
+  const auto first = run_trials(trials, {.threads = 1});
+  const auto second = run_trials(trials, {.threads = 1});
+  expect_same_results(fresh, first);
+  expect_same_results(first, second);
+  EXPECT_EQ(json_of(s, trials, first), json_of(s, trials, second));
+}
+
 }  // namespace
 }  // namespace dhc::runner

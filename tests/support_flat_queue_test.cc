@@ -1,0 +1,70 @@
+// FlatQueue: FIFO semantics and the in-place stable filter (retain), which
+// replaced the scratch-buffer idiom the upcast downcast pump used to rely on.
+#include "support/flat_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dhc::support {
+namespace {
+
+std::vector<int> drain(FlatQueue<int>& q) {
+  std::vector<int> out;
+  while (!q.empty()) {
+    out.push_back(q.front());
+    q.pop_front();
+  }
+  return out;
+}
+
+TEST(FlatQueue, FifoOrderAndSizes) {
+  FlatQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 5; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.front(), 0);
+  q.pop_front();
+  EXPECT_EQ(q.front(), 1);
+  EXPECT_EQ(drain(q), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FlatQueue, RetainKeepsMatchingElementsInOrder) {
+  FlatQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push_back(i);
+  q.retain([](int v) { return v % 3 == 0; });
+  EXPECT_EQ(drain(q), (std::vector<int>{0, 3, 6, 9}));
+}
+
+TEST(FlatQueue, RetainOperatesOnTheLiveWindowAfterPops) {
+  // Popped elements must not resurrect: retain sees only [head, end).
+  FlatQueue<int> q;
+  for (int i = 0; i < 8; ++i) q.push_back(i);
+  q.pop_front();  // drop 0
+  q.pop_front();  // drop 1
+  q.retain([](int v) { return v % 2 == 0; });
+  EXPECT_EQ(drain(q), (std::vector<int>{2, 4, 6}));
+}
+
+TEST(FlatQueue, RetainAllAndRetainNone) {
+  FlatQueue<int> q;
+  for (int i = 0; i < 4; ++i) q.push_back(i);
+  q.retain([](int) { return true; });
+  EXPECT_EQ(q.size(), 4u);
+  q.retain([](int) { return false; });
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FlatQueue, QueueIsReusableAfterRetain) {
+  FlatQueue<int> q;
+  for (int i = 0; i < 6; ++i) q.push_back(i);
+  q.retain([](int v) { return v >= 4; });
+  q.push_back(100);
+  EXPECT_EQ(drain(q), (std::vector<int>{4, 5, 100}));
+  q.push_back(7);
+  EXPECT_EQ(q.front(), 7);
+}
+
+}  // namespace
+}  // namespace dhc::support

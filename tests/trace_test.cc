@@ -2,7 +2,7 @@
 // counter, phase-span accounting, the k-machine kround stream, the reader
 // round trip, and the run_trial trace-file integration.
 //
-// The golden file pins the byte-exact schema-v1 output (wall fields zeroed,
+// The golden file pins the byte-exact schema-v2 output (wall fields zeroed,
 // shard-profile fields omitted — the deterministic projection).  Regenerate
 // after a reviewed schema change with:
 //
@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/fault_plan.h"
 #include "core/dhc1.h"
 #include "core/dhc2.h"
 #include "core/dra.h"
@@ -72,7 +73,7 @@ std::string golden_projection(std::uint32_t shards) {
   return os.str();
 }
 
-TEST(TraceGolden, SchemaV1IsPinned) {
+TEST(TraceGolden, SchemaV2IsPinned) {
   const std::string got = golden_projection(/*shards=*/1);
   const std::string path = DHC_TRACE_GOLDEN_FILE;
 
@@ -202,7 +203,7 @@ TEST(TraceReader, RoundTripPreservesEveryRecord) {
   rec.write_ndjson(ss);  // full output: walls + shard profile on
   const TraceData data = read_trace(ss);
 
-  EXPECT_EQ(data.schema, 1u);
+  EXPECT_EQ(data.schema, 2u);
   EXPECT_EQ(data.meta_str("algo"), "turau");
   EXPECT_EQ(data.meta_u64("n"), 80u);
   EXPECT_EQ(data.meta_u64("m"), g.m());
@@ -228,6 +229,45 @@ TEST(TraceReader, RoundTripPreservesEveryRecord) {
     EXPECT_EQ(data.spans[i].label, rec.spans()[i].label);
     EXPECT_EQ(data.spans[i].rounds, rec.spans()[i].rounds);
   }
+}
+
+TEST(TraceReader, FaultRecordsRoundTripFromAnAsyncRun) {
+  // Schema v2: async runs interleave "fault" lines with the round stream and
+  // append the fault totals to the summary; both must survive the reader.
+  const graph::Graph g = instance(96, 3.0, 0.75, 18);
+  TraceRecorder rec;
+  rec.set_meta(meta_for("dhc2", 96, g.m(), 3));
+  const congest::FaultPlan plan(congest::DelaySpec::parse("fixed:2"), /*drop_prob=*/0.05,
+                                congest::CrashSpec{}, /*fault_seed=*/91);
+  core::Dhc2Config cfg;
+  cfg.trace = &rec;
+  cfg.faults = &plan;
+  const auto r = core::run_dhc2(g, 3, cfg);
+  rec.finalize(r.metrics);
+  rec.set_outcome(r.success, r.failure_reason);
+
+  ASSERT_FALSE(rec.faults().empty());
+  std::stringstream ss;
+  rec.write_ndjson(ss);
+  const TraceData data = read_trace(ss);
+
+  EXPECT_EQ(data.schema, 2u);
+  ASSERT_EQ(data.faults.size(), rec.faults().size());
+  std::uint64_t delayed = 0, dropped = 0;
+  for (std::size_t i = 0; i < data.faults.size(); ++i) {
+    EXPECT_EQ(data.faults[i].round, rec.faults()[i].round);
+    EXPECT_EQ(data.faults[i].delayed, rec.faults()[i].delayed);
+    EXPECT_EQ(data.faults[i].dropped, rec.faults()[i].dropped);
+    EXPECT_EQ(data.faults[i].crash_dropped, rec.faults()[i].crash_dropped);
+    EXPECT_EQ(data.faults[i].crashed_steps, rec.faults()[i].crashed_steps);
+    delayed += data.faults[i].delayed;
+    dropped += data.faults[i].dropped;
+  }
+  // Per-round fault deltas sum to the run totals, which the summary carries.
+  EXPECT_EQ(delayed, r.metrics.delayed_messages);
+  EXPECT_EQ(dropped, r.metrics.dropped_messages);
+  EXPECT_EQ(data.summary_u64("delayed_messages"), r.metrics.delayed_messages);
+  EXPECT_EQ(data.summary_u64("dropped_messages"), r.metrics.dropped_messages);
 }
 
 TEST(TraceReader, SeedsSurviveExactly) {

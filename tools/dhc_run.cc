@@ -12,9 +12,11 @@
 //   --scenario=FILE   key = value scenario file; other flags override it
 //   --name=STR        scenario name recorded in the artifacts
 //   --algos=LIST      sequential|dra|dhc1|dhc2|upcast|collect-all|dhc2-kmachine|turau
-//   --model=STR       congest (default) | kmachine — kmachine runs every
-//                     selected algorithm through the k-machine execution
-//                     backend (paper §IV) and sweeps --k
+//   --model=STR       congest (default) | kmachine | async — kmachine runs
+//                     every selected algorithm through the k-machine
+//                     execution backend (paper §IV) and sweeps --k; async
+//                     runs them under seed-deterministic delivery delays,
+//                     drops, and node crashes and sweeps the fault axes
 //   --family=STR      gnp|gnm|regular|powerlaw
 //   --sizes=LIST      graph sizes n
 //   --deltas=LIST     density exponents, p = c·ln n / n^delta
@@ -23,6 +25,14 @@
 //   --k=LIST          machine counts for --model=kmachine (aliases:
 //                     --machines, --k_list; also the legacy dhc2-kmachine)
 //   --bandwidth=N     per-link messages/round for the k-machine pricing
+//   --delay_dist=LIST per-edge latency specs for --model=async, each
+//                     none | fixed:K | uniform:A:B | geometric:P
+//   --drop_prob=LIST  per-message loss probabilities in [0, 1) (async)
+//   --crash_schedule=LIST  node crash windows for --model=async, each
+//                     none | random:FRAC:START:DURATION
+//   --max_rounds=N    per-trial round budget for --model=async (0 = engine
+//                     default; faulted runs that stall fail fast with
+//                     hit_round_limit instead of crawling to the ceiling)
 //   --seeds=N         trials per configuration cell
 //   --seed=N          root seed
 //   --threads=N       worker-thread budget shared by trial- and
@@ -136,13 +146,19 @@ int main(int argc, char** argv) {
   try {
     const support::Cli cli(argc, argv);
     if (cli.has("help")) {
-      std::cout << "usage: dhc_run [--scenario=FILE] [--algos=...] [--model=congest|kmachine] "
+      std::cout << "usage: dhc_run [--scenario=FILE] [--algos=...] "
+                   "[--model=congest|kmachine|async] "
                    "[--sizes=...] [--deltas=...] [--cs=...] [--k=...] [--bandwidth=N] "
+                   "[--delay_dist=...] [--drop_prob=...] [--crash_schedule=...] "
+                   "[--max_rounds=N] "
                    "[--seeds=N] [--threads=N] [--json=PATH] [--csv=PATH]\n"
                    "algorithms: sequential|dra|dhc1|dhc2|upcast|collect-all|"
                    "dhc2-kmachine|turau\n"
                    "--model=kmachine prices any algorithm in the k-machine model "
                    "(sweeps --k machine counts).\n"
+                   "--model=async injects seed-deterministic delivery delays "
+                   "(--delay_dist), drops (--drop_prob), and crashes "
+                   "(--crash_schedule).\n"
                    "See the header of tools/dhc_run.cc for the full flag list.\n";
       return EXIT_SUCCESS;
     }
