@@ -20,8 +20,9 @@ AsyncOutcome run_async(const kmachine::CongestAlgorithm& algo, const graph::Grap
   DHC_REQUIRE(algo != nullptr, "run_async needs an algorithm");
   const std::uint64_t fault_seed =
       cfg.fault_seed != 0 ? cfg.fault_seed : derive_fault_seed(seed);
-  const congest::FaultPlan plan(cfg.delay, cfg.drop_prob, cfg.crash, fault_seed,
-                               cfg.max_rounds);
+  congest::FaultPlan plan(cfg.delay, cfg.drop_prob, cfg.crash, fault_seed,
+                          cfg.max_rounds);
+  plan.set_reliability(cfg.reliability, cfg.rto);
 
   AsyncOutcome out;
   out.result = algo(g, seed, nullptr, cfg.shards, &plan);
@@ -35,7 +36,13 @@ AsyncOutcome run_async(const kmachine::CongestAlgorithm& algo, const graph::Grap
   out.report.crash_dropped_messages = m.crash_dropped_messages;
   out.report.crashed_steps = m.crashed_steps;
   out.report.crashed_nodes = plan.crashed_node_count(g.n());
+  out.report.crashed_rejoins = m.crashed_rejoins;
+  out.report.retransmits = m.retransmits;
+  out.report.dup_suppressed = m.dup_suppressed;
+  out.report.acks_sent = m.acks_sent;
+  out.report.payload_messages = m.payload_messages();
   out.report.hit_round_limit = m.hit_round_limit;
+  out.report.round_limit_live = m.round_limit_live;
   return out;
 }
 

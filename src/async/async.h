@@ -46,6 +46,12 @@ struct AsyncConfig {
   std::uint64_t max_rounds = 0;
   /// Simulator shards (0 = DHC_SHARDS environment default; bitwise-neutral).
   std::uint32_t shards = 0;
+  /// Reliable-delivery overlay (congest/reliable.h): kNone replays PR 7's
+  /// lossy behavior; kAck adds per-link seq/ack + retransmission so solvers
+  /// survive drops and crash windows.
+  congest::ReliabilitySpec reliability;
+  /// Retransmit timeout/backoff parameters (used only under kAck).
+  congest::RtoSpec rto;
 };
 
 /// What the faults did to one run.
@@ -58,7 +64,13 @@ struct AsyncReport {
   std::uint64_t crash_dropped_messages = 0;  ///< arrived at a crashed node
   std::uint64_t crashed_steps = 0;           ///< activations lost to crashes
   std::uint64_t crashed_nodes = 0;           ///< nodes with a crash window
+  std::uint64_t crashed_rejoins = 0;         ///< nodes back after their window
+  std::uint64_t retransmits = 0;             ///< overlay re-sends
+  std::uint64_t dup_suppressed = 0;          ///< duplicate arrivals suppressed
+  std::uint64_t acks_sent = 0;               ///< standalone ack messages
+  std::uint64_t payload_messages = 0;        ///< messages minus overlay traffic
   bool hit_round_limit = false;
+  bool round_limit_live = false;  ///< limit hit with traffic still moving
 };
 
 /// The backend's full answer: the fault accounting plus the underlying run

@@ -224,4 +224,10 @@ std::uint64_t FaultPlan::crashed_node_count(NodeId n) const {
   return count;
 }
 
+std::uint64_t FaultPlan::crash_rejoin_round() const {
+  // The crash window is [start, start + duration); the first round past it
+  // is where crashed nodes silently resume stepping and receiving.
+  return crash_.start + crash_.duration;
+}
+
 }  // namespace dhc::congest

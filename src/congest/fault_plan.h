@@ -31,6 +31,7 @@
 #include <string>
 
 #include "congest/message.h"
+#include "congest/reliable.h"
 
 namespace dhc::congest {
 
@@ -97,6 +98,10 @@ class FaultPlan {
   /// Number of nodes in [0, n) with a scheduled crash window.
   std::uint64_t crashed_node_count(NodeId n) const;
 
+  /// First round at which crashed nodes are back ("rejoined", with whatever
+  /// stale state they crashed with).  Meaningful only when crashes_active().
+  std::uint64_t crash_rejoin_round() const;
+
   bool delays_active() const { return delay_.active(); }
   bool drops_active() const { return drop_prob_ > 0.0; }
   bool crashes_active() const { return crash_.active(); }
@@ -111,12 +116,27 @@ class FaultPlan {
   /// graph); the cap turns a would-be hang into `hit_round_limit` reporting.
   std::uint64_t round_limit() const { return round_limit_; }
 
+  /// Reliable-delivery overlay riding on this plan (congest/reliable.h).
+  /// Carried here — rather than through every solver's config — because the
+  /// plan already travels the whole algorithm-adapter path into the Network.
+  /// The overlay consumes none of the hash streams above, so setting it
+  /// never perturbs the drop/delay/crash decisions (paired runs stay
+  /// paired).
+  void set_reliability(ReliabilitySpec reliability, RtoSpec rto) {
+    reliability_ = reliability;
+    rto_ = rto;
+  }
+  const ReliabilitySpec& reliability() const { return reliability_; }
+  const RtoSpec& rto() const { return rto_; }
+
  private:
   DelaySpec delay_;
   double drop_prob_ = 0.0;
   CrashSpec crash_;
   std::uint64_t fault_seed_ = 0;
   std::uint64_t round_limit_ = 0;
+  ReliabilitySpec reliability_;
+  RtoSpec rto_;
 };
 
 }  // namespace dhc::congest

@@ -26,11 +26,22 @@ inline constexpr std::size_t kMaxWords = 4;
 
 /// One CONGEST message.  `tag` identifies the protocol-level message type;
 /// `data[0..words)` are the payload fields.
+///
+/// `rel_seq`/`rel_ack` are the reliable-delivery overlay header
+/// (congest/reliable.h): a per-directed-link sequence number (0 = unstamped
+/// — synchronous runs and reliability=none leave both fields untouched) and
+/// the piggybacked cumulative ack for the reverse direction.  A message with
+/// rel_seq == 0 and rel_ack > 0 is a standalone ack (transport-only, never
+/// delivered to the protocol).  The header rides free in the bit accounting:
+/// real stacks fold seq/ack numbers into the O(1) framing the tag byte
+/// already stands for.
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
   std::uint16_t tag = 0;
   std::uint16_t words = 0;
+  std::uint32_t rel_seq = 0;
+  std::uint32_t rel_ack = 0;
   std::array<std::int64_t, kMaxWords> data{};
 
   /// Convenience constructor: tag + up to kMaxWords payload words.

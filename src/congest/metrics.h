@@ -71,6 +71,22 @@ struct Metrics {
   std::uint64_t crash_dropped_messages = 0;  ///< arrived at a crashed node
   std::uint64_t crashed_steps = 0;           ///< activations lost to crashes
 
+  /// Reliable-delivery overlay accounting (reliability=ack runs; all zero
+  /// otherwise).  Retransmits and standalone acks count in `messages`/`bits`
+  /// (acks at header cost) but not in the per-node send vectors, which keep
+  /// counting protocol sends only so load-balance stats stay comparable
+  /// across reliability modes.
+  std::uint64_t retransmits = 0;     ///< payload copies re-sent by the overlay
+  std::uint64_t dup_suppressed = 0;  ///< arrivals discarded as duplicates
+  std::uint64_t acks_sent = 0;       ///< standalone ack messages
+  std::uint64_t crashed_rejoins = 0; ///< nodes back (with stale state) after their crash window
+
+  /// Valid when hit_round_limit: true if traffic was still moving at the
+  /// break (sends in flight or retransmit/ack timers armed — e.g. turau's
+  /// delay livelock), false if the run was quiescent apart from wake-up
+  /// polling (the PR 7 drop-stall signature).
+  bool round_limit_live = false;
+
   /// Which per-node accounting mode populated this run (set by the Network
   /// from its config; determines which vectors below are non-empty).
   NodeStatsMode node_stats_mode = NodeStatsMode::kFull;
@@ -111,6 +127,12 @@ struct Metrics {
 
   /// rounds + barriers charged at barrier_cost_rounds each.
   std::uint64_t accounted_rounds() const { return rounds + barrier_count * barrier_cost_rounds; }
+
+  /// Protocol-level sends only: `messages` minus the transport traffic the
+  /// reliability overlay added.  The apples-to-apples message-complexity
+  /// number for paired comparisons across reliability modes (and the one the
+  /// bench gate pins for async presets).
+  std::uint64_t payload_messages() const { return messages - retransmits - acks_sent; }
 
   /// Maximum over nodes of messages sent (congestion/load balance).  Reads
   /// whichever representation the mode kept (vector, compact vector, or the

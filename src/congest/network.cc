@@ -8,6 +8,7 @@
 #include <type_traits>
 
 #include "congest/fault_plan.h"
+#include "congest/reliable.h"
 #include "support/quantile_sketch.h"
 #include "support/require.h"
 
@@ -209,12 +210,21 @@ Network::Network(const graph::Graph& g, NetworkConfig cfg) : graph_(&g), cfg_(cf
     if (faults_->round_limit() != 0) {
       cfg_.max_rounds = std::min(cfg_.max_rounds, faults_->round_limit());
     }
+    // The reliable overlay engages only when the plan can actually lose
+    // messages; a lossless reliability=ack run takes the exact
+    // reliability=none path (bitwise, by construction).
+    if (faults_->reliability().active() &&
+        (faults_->drops_active() || faults_->crashes_active())) {
+      reliable_ = std::make_unique<ReliableOverlay>(g, faults_->rto());
+    }
   }
 
   const support::Rng base(cfg_.seed);
   rngs_.reserve(n);
   for (NodeId v = 0; v < g.n(); ++v) rngs_.push_back(base.stream(v));
 }
+
+Network::~Network() = default;
 
 void Network::throw_non_neighbor(NodeId from, NodeId to) const {
   throw CongestViolation("node " + std::to_string(from) + " sent to non-neighbor " +
@@ -277,6 +287,22 @@ std::uint64_t Network::next_armed_round() const {
 }
 
 void Network::enqueue_async(NodeId from, NodeId to, const Message& msg) {
+  const std::size_t edge_id = edge_offsets_[from] + graph_->neighbor_rank(from, to);
+  if (reliable_ == nullptr) {
+    file_async(from, to, edge_id, msg);
+    return;
+  }
+  // Reliable overlay: stamp a fresh seq + piggyback ack and buffer the copy
+  // *before* the drop decision — a first send lost in transit must still be
+  // retransmittable.
+  Message stamped = msg;
+  stamped.from = from;
+  stamped.to = to;
+  reliable_->stamp_and_buffer(edge_id, stamped, round_);
+  file_async(from, to, edge_id, stamped);
+}
+
+void Network::file_async(NodeId from, NodeId to, std::size_t edge_id, const Message& msg) {
   // Each directed link serializes at one message per round: a message
   // departs at the later of "now" and the link's next free slot, so a
   // same-round burst (legal here — a node answering several delayed
@@ -286,7 +312,6 @@ void Network::enqueue_async(NodeId from, NodeId to, const Message& msg) {
   // arrivals stay in send order (FIFO) with or without queueing; a
   // sync-legal schedule never queues, keeping latency-1 runs bitwise
   // equal to the synchronous engine.
-  const std::size_t edge_id = edge_offsets_[from] + graph_->neighbor_rank(from, to);
   std::uint64_t& free_at = link_free_at_[edge_id];
   const std::uint64_t depart = std::max(round_, free_at);
   free_at = depart + 1;
@@ -305,6 +330,30 @@ void Network::enqueue_async(NodeId from, NodeId to, const Message& msg) {
   slot.to = to;
 }
 
+void Network::service_transport() {
+  // Retransmits and standalone acks the overlay owes this round, in
+  // deterministic timer order, routed through the same link-FIFO/drop/delay
+  // machinery as first sends (a retransmit can be dropped again — each round
+  // is an independent drop hash, so it eventually gets through).  Transport
+  // traffic counts in messages/bits (acks at header-only cost) but not in
+  // the per-node send stats, which stay protocol-only.
+  transport_batch_.clear();
+  reliable_->collect_due(
+      round_, [&](NodeId v) { return faults_->crashed(v, round_); }, transport_batch_);
+  for (const Message& m : transport_batch_) {
+    const std::size_t edge_id = edge_offsets_[m.from] + graph_->neighbor_rank(m.from, m.to);
+    if (m.rel_seq != 0) {
+      metrics_.retransmits += 1;
+      metrics_.bits += message_bits_for(m.words, bits_per_word_);
+    } else {
+      metrics_.acks_sent += 1;
+      metrics_.bits += message_bits_for(0, bits_per_word_);
+    }
+    metrics_.messages += 1;
+    file_async(m.from, m.to, edge_id, m);
+  }
+}
+
 std::uint64_t Network::next_delivery_round() const {
   std::uint64_t best = static_cast<std::uint64_t>(-1);
   if (delay_armed_ != 0) {
@@ -320,21 +369,55 @@ std::uint64_t Network::next_delivery_round() const {
 }
 
 void Network::mature_async_messages() {
+  // Overlay timers first: the retransmits/acks they file are sends *at* this
+  // round (latency >= 1), so they never interact with this round's matured
+  // arrivals below — the split is purely for a fixed service order.
+  if (reliable_ != nullptr) service_transport();
+
   // Far entries mature before the wheel bucket: a far message due this round
   // was filed with latency >= kWheelSize, i.e. sent at least kWheelSize
   // rounds ago, while every wheel message due now was sent strictly later —
   // so far-then-wheel, each vector in append order, IS the global send
   // order, and per-node arrival order stays send-order just like the
   // synchronous scatter.
+  const auto deliver_one = [&](const Message& m) {
+    if (node_stats_ == NodeStatsMode::kFull) metrics_.node_messages_received[m.to] += 1;
+    if (inbox_count_[m.to]++ == 0) next_active_.push_back(m.to);
+    outbox_.push_back(m);
+  };
   const auto deliver = [&](std::vector<Message>& msgs) {
     for (const Message& m : msgs) {
       if (faults_->crashed(m.to, round_)) {
+        // Crashed receivers lose even overlay traffic — no ack forms, so the
+        // sender's timer keeps the payload alive until after the rejoin.
         metrics_.crash_dropped_messages += 1;
         continue;
       }
-      if (node_stats_ == NodeStatsMode::kFull) metrics_.node_messages_received[m.to] += 1;
-      if (inbox_count_[m.to]++ == 0) next_active_.push_back(m.to);
-      outbox_.push_back(m);
+      if (reliable_ == nullptr) {
+        deliver_one(m);
+        continue;
+      }
+      // Overlay arrival: process the piggybacked ack, then deliver / buffer /
+      // suppress the payload.  Standalone acks and buffered/duplicate
+      // payloads never reach the protocol (no activation, no received
+      // count); an in-order payload releases any buffered successors with
+      // it, in seq order.
+      const std::size_t edge = edge_offsets_[m.from] + graph_->neighbor_rank(m.from, m.to);
+      switch (reliable_->on_arrival(edge, m, round_)) {
+        case ReliableOverlay::Arrival::kAck:
+          break;
+        case ReliableOverlay::Arrival::kBuffer:
+          break;
+        case ReliableOverlay::Arrival::kDuplicate:
+          metrics_.dup_suppressed += 1;
+          break;
+        case ReliableOverlay::Arrival::kDeliver:
+          deliver_one(m);
+          drain_batch_.clear();
+          reliable_->drain_in_order(edge, drain_batch_);
+          for (const Message& d : drain_batch_) deliver_one(d);
+          break;
+      }
     }
   };
   const auto due = far_messages_.begin();
@@ -581,9 +664,11 @@ Metrics Network::run(Protocol& protocol) {
     protocol.begin(ctx);
   }
 
+  bool rejoins_counted = false;
   while (true) {
     const bool delivery_pending = faults_ != nullptr && any_delivery_pending();
-    if (outbox_.empty() && !any_wakeup_armed() && !delivery_pending) {
+    const bool transport_pending = reliable_ != nullptr && reliable_->any_pending();
+    if (outbox_.empty() && !any_wakeup_armed() && !delivery_pending && !transport_pending) {
       if (!protocol.on_quiescence(*this)) break;
       metrics_.barrier_count += 1;
       if (tracing) cfg_.trace->on_barrier(round_, metrics_.barrier_cost_rounds);
@@ -598,16 +683,36 @@ Metrics Network::run(Protocol& protocol) {
     // skipped past; the synchronous regime keeps the classic rule.
     if (faults_ != nullptr) {
       std::uint64_t next = next_delivery_round();
+      if (reliable_ != nullptr) next = std::min(next, reliable_->next_event_round(round_));
       if (any_wakeup_armed()) next = std::min(next, next_armed_round());
       DHC_CHECK(next != static_cast<std::uint64_t>(-1),
-                "async advance with neither deliveries nor wake-ups pending");
+                "async advance with neither deliveries, transport timers, nor wake-ups pending");
       round_ = next;
     } else {
       round_ = outbox_.empty() ? next_armed_round() : round_ + 1;
     }
     if (round_ > cfg_.max_rounds) {
       metrics_.hit_round_limit = true;
+      // Stalled vs live: a run still moving traffic (sends queued, matured or
+      // pending deliveries, armed retransmit/ack timers) hit the limit mid
+      // flight — e.g. turau's delay livelock; one with only wake-up polling
+      // left is the drop-stall signature (nothing will ever arrive again).
+      metrics_.round_limit_live = !outbox_.empty() ||
+                                  (faults_ != nullptr && any_delivery_pending()) ||
+                                  (reliable_ != nullptr && reliable_->any_pending());
       break;
+    }
+    if (faults_ != nullptr && !rejoins_counted && faults_->crashes_active() &&
+        round_ >= faults_->crash_rejoin_round()) {
+      // First executed round past the crash window: the crashed nodes are
+      // back, silently, with whatever state they crashed with (DESIGN.md
+      // §8).  Count them once and mark the round so the masked failure mode
+      // is visible in artifacts and traces.
+      rejoins_counted = true;
+      metrics_.crashed_rejoins = faults_->crashed_node_count(graph_->n());
+      if (tracing && metrics_.crashed_rejoins != 0) {
+        cfg_.trace->on_rejoin(round_, metrics_.crashed_rejoins);
+      }
     }
 
     if (tracing) {
@@ -619,6 +724,9 @@ Metrics Network::run(Protocol& protocol) {
       const std::uint64_t dropped0 = metrics_.dropped_messages;
       const std::uint64_t crash_dropped0 = metrics_.crash_dropped_messages;
       const std::uint64_t crashed0 = metrics_.crashed_steps;
+      const std::uint64_t retrans0 = metrics_.retransmits;
+      const std::uint64_t dup0 = metrics_.dup_suppressed;
+      const std::uint64_t acks0 = metrics_.acks_sent;
       const auto t0 = std::chrono::steady_clock::now();
       deliver_and_build_active_set();
       const std::uint64_t wake0 = wheel_armed_ + far_wakeups_.size();
@@ -639,6 +747,16 @@ Metrics Network::run(Protocol& protocol) {
         ft.crashed_steps = metrics_.crashed_steps - crashed0;
         if (ft.delayed + ft.dropped + ft.crash_dropped + ft.crashed_steps > 0) {
           cfg_.trace->on_faults(ft);
+        }
+        if (reliable_ != nullptr) {
+          RetransTrace rt2;
+          rt2.round = round_;
+          rt2.retransmits = metrics_.retransmits - retrans0;
+          rt2.dup_suppressed = metrics_.dup_suppressed - dup0;
+          rt2.acks_sent = metrics_.acks_sent - acks0;
+          if (rt2.retransmits + rt2.dup_suppressed + rt2.acks_sent > 0) {
+            cfg_.trace->on_retrans(rt2);
+          }
         }
       }
     } else {

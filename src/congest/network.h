@@ -56,7 +56,8 @@
 
 namespace dhc::congest {
 
-class FaultPlan;  // congest/fault_plan.h — async delays/drops/crashes
+class FaultPlan;        // congest/fault_plan.h — async delays/drops/crashes
+class ReliableOverlay;  // congest/reliable.h — seq/ack/retransmit transport
 
 /// Thrown when a protocol exceeds the CONGEST per-edge bandwidth, sends to a
 /// non-neighbor, or otherwise breaks the communication model.
@@ -242,6 +243,7 @@ class Protocol {
 class Network {
  public:
   Network(const graph::Graph& g, NetworkConfig cfg);
+  ~Network();  // out of line: ReliableOverlay is incomplete here
 
   const graph::Graph& graph() const { return *graph_; }
   NodeId n() const { return graph_->n(); }
@@ -301,10 +303,19 @@ class Network {
 
   /// Routes one committed send through the fault plan: dropped messages
   /// vanish (counted), surviving ones are filed in the message delay wheel
-  /// (or the far map) under round_ + latency.  Serial only: called from the
-  /// sequential send path and from the shard-log merge, never from inside a
-  /// parallel section.
+  /// (or the far map) under round_ + latency.  With the reliable overlay
+  /// engaged, the message is seq-stamped and buffered for retransmission
+  /// first.  Serial only: called from the sequential send path and from the
+  /// shard-log merge, never from inside a parallel section.
   void enqueue_async(NodeId from, NodeId to, const Message& msg);
+  /// The transport tail of enqueue_async: link FIFO slot, drop decision,
+  /// delay assignment, wheel filing.  Also carries the overlay's own traffic
+  /// (retransmits, standalone acks), which shares the fate machinery of
+  /// first sends.
+  void file_async(NodeId from, NodeId to, std::size_t edge_id, const Message& msg);
+  /// Fires the overlay timers due this round and files the resulting
+  /// retransmit / standalone-ack messages (with Metrics accounting).
+  void service_transport();
   /// Moves every message due this round from the delay wheel / far map into
   /// outbox_, applying crash-receiver drops and the receiver-side
   /// first-touch bookkeeping that the synchronous path does at send time.
@@ -369,6 +380,14 @@ class Network {
   std::size_t delay_armed_ = 0;                    // messages across buckets
   std::map<std::uint64_t, std::vector<Message>> far_messages_;  // round → msgs
 
+  // Reliable-delivery overlay (congest/reliable.h).  Engaged only when the
+  // plan requests reliability=ack AND can actually lose messages (drops or
+  // crashes active): lossless runs bypass it entirely, which is what pins
+  // reliability=ack bitwise-identical to reliability=none at drop=0.
+  std::unique_ptr<ReliableOverlay> reliable_;
+  std::vector<Message> transport_batch_;  // service_transport scratch
+  std::vector<Message> drain_batch_;      // in-order release scratch
+
   std::vector<ShardState> shard_state_;          // size shards_ when sharding
   std::unique_ptr<support::WorkerPool> pool_;    // created on first sharded round
 
@@ -384,7 +403,7 @@ class Network {
 
 // ---------------------------------------------------------------------------
 // Inline hot path.  One Context::send is one neighbor-rank lookup, one edge
-// budget check, metric bumps, and a single 48-byte append — no intermediate
+// budget check, metric bumps, and a single 56-byte append — no intermediate
 // Message copies (the old out-of-line path copied the struct three times)
 // and no per-message allocation once the outbox has warmed up.  On sharded
 // rounds the append, the global counters, and the receiver-side bookkeeping

@@ -1,0 +1,315 @@
+#include "congest/reliable.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dhc::congest {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(s.substr(pos));
+      return out;
+    }
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  std::size_t used = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(s, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("rto spec: bad ") + what + " '" + s + "'");
+  }
+  if (used != s.size()) {
+    throw std::invalid_argument(std::string("rto spec: bad ") + what + " '" + s + "'");
+  }
+  return v;
+}
+
+// Keeps the backoff arithmetic (cur * mult, capped at max) far from overflow.
+constexpr std::uint64_t kMaxTimeout = 1'000'000'000;
+
+}  // namespace
+
+RtoSpec RtoSpec::parse(const std::string& spec) {
+  std::vector<std::string> parts = split(spec, ':');
+  std::size_t i = 0;
+  if (!parts.empty() && parts[0] == "rto") i = 1;
+  const std::size_t count = parts.size() - i;
+  if (parts.size() == i || count > 3) {
+    throw std::invalid_argument("rto spec '" + spec + "' (expected rto:K[:MULT[:MAX]])");
+  }
+  RtoSpec r;
+  r.initial = parse_u64(parts[i], "timeout");
+  r.mult = count >= 2 ? parse_u64(parts[i + 1], "multiplier") : 2;
+  // Omitted cap: the default 16, lifted so it never undercuts the timeout.
+  r.max = count >= 3 ? parse_u64(parts[i + 2], "cap") : std::max<std::uint64_t>(16, r.initial);
+  if (r.initial < 1 || r.initial > kMaxTimeout) {
+    throw std::invalid_argument("rto spec '" + spec + "': timeout must be in [1, 1e9]");
+  }
+  if (r.mult < 1) {
+    throw std::invalid_argument("rto spec '" + spec + "': multiplier must be >= 1");
+  }
+  if (r.max < r.initial || r.max > kMaxTimeout) {
+    throw std::invalid_argument("rto spec '" + spec + "': cap must be in [timeout, 1e9]");
+  }
+  return r;
+}
+
+std::string RtoSpec::to_string() const {
+  return "rto:" + std::to_string(initial) + ":" + std::to_string(mult) + ":" +
+         std::to_string(max);
+}
+
+ReliabilitySpec ReliabilitySpec::parse(const std::string& spec) {
+  ReliabilitySpec r;
+  if (spec == "none") {
+    r.kind = Kind::kNone;
+  } else if (spec == "ack") {
+    r.kind = Kind::kAck;
+  } else {
+    throw std::invalid_argument("reliability spec '" + spec + "' (expected none|ack)");
+  }
+  return r;
+}
+
+std::string ReliabilitySpec::to_string() const {
+  return kind == Kind::kAck ? "ack" : "none";
+}
+
+ReliableOverlay::ReliableOverlay(const graph::Graph& g, RtoSpec rto) : rto_(rto) {
+  const auto offsets = g.row_offsets();
+  const std::size_t total = offsets.empty() ? 0 : static_cast<std::size_t>(offsets.back());
+  reverse_edge_.resize(total);
+  edge_tail_.resize(total);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    const auto nb = g.neighbors(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const std::size_t e = offsets[u] + i;
+      const NodeId v = nb[i];
+      edge_tail_[e] = u;
+      reverse_edge_[e] = static_cast<std::uint32_t>(offsets[v] + g.neighbor_rank(v, u));
+    }
+  }
+  next_seq_.assign(total, 1);
+  acked_to_.assign(total, 0);
+  send_buf_.assign(total, {});
+  retrans_due_.assign(total, 0);
+  cur_rto_.assign(total, rto_.initial);
+  recv_next_.assign(total, 1);
+  recv_buf_.assign(total, {});
+  ack_due_.assign(total, 0);
+  timer_wheel_.resize(kWheelSize);
+}
+
+void ReliableOverlay::file_timer(std::uint64_t now, std::uint64_t fire, std::uint32_t edge,
+                                 TimerKind kind) {
+  if (fire - now < kWheelSize) {
+    timer_wheel_[fire & kWheelMask].push_back({edge, kind});
+  } else {
+    far_timers_[fire].push_back({edge, kind});
+  }
+}
+
+void ReliableOverlay::stamp_and_buffer(std::size_t edge, Message& msg, std::uint64_t now) {
+  const std::size_t rev = reverse_edge_[edge];
+  msg.rel_seq = next_seq_[edge]++;
+  msg.rel_ack = recv_next_[rev] - 1;
+  if (ack_due_[rev] != 0) {
+    // This send piggybacks the ack owed for the reverse direction.
+    ack_due_[rev] = 0;
+    --live_timers_;
+  }
+  send_buf_[edge].push_back(msg);
+  if (retrans_due_[edge] == 0) {
+    cur_rto_[edge] = rto_.initial;
+    retrans_due_[edge] = now + rto_.initial;
+    file_timer(now, retrans_due_[edge], static_cast<std::uint32_t>(edge),
+               TimerKind::kRetransmit);
+    ++live_timers_;
+  }
+}
+
+void ReliableOverlay::process_ack(std::size_t edge, std::uint32_t ack, std::uint64_t now) {
+  if (ack <= acked_to_[edge]) return;
+  acked_to_[edge] = ack;
+  auto& buf = send_buf_[edge];
+  std::size_t k = 0;
+  while (k < buf.size() && buf[k].rel_seq <= ack) ++k;
+  if (k != 0) buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(k));
+  if (retrans_due_[edge] == 0) return;
+  if (buf.empty()) {
+    retrans_due_[edge] = 0;
+    --live_timers_;
+    cur_rto_[edge] = rto_.initial;
+  } else {
+    // Ack progress restarts the timer (fresh timeout) for the new oldest
+    // unacked message; the old wheel entry goes stale.
+    cur_rto_[edge] = rto_.initial;
+    retrans_due_[edge] = now + rto_.initial;
+    file_timer(now, retrans_due_[edge], static_cast<std::uint32_t>(edge),
+               TimerKind::kRetransmit);
+  }
+}
+
+void ReliableOverlay::schedule_ack(std::size_t edge, std::uint64_t now) {
+  if (ack_due_[edge] != 0) return;
+  ack_due_[edge] = now + 1;
+  file_timer(now, now + 1, static_cast<std::uint32_t>(edge), TimerKind::kAck);
+  ++live_timers_;
+}
+
+ReliableOverlay::Arrival ReliableOverlay::on_arrival(std::size_t edge, const Message& msg,
+                                                     std::uint64_t now) {
+  process_ack(reverse_edge_[edge], msg.rel_ack, now);
+  if (msg.rel_seq == 0) return Arrival::kAck;
+  schedule_ack(edge, now);
+  const std::uint32_t seq = msg.rel_seq;
+  if (seq < recv_next_[edge]) return Arrival::kDuplicate;
+  if (seq == recv_next_[edge]) {
+    recv_next_[edge] += 1;
+    return Arrival::kDeliver;
+  }
+  // Ahead of order: insert by seq (links are FIFO, so arrivals are already
+  // near-sorted and this scans at most a few tail slots).
+  auto& buf = recv_buf_[edge];
+  std::size_t pos = buf.size();
+  while (pos > 0 && buf[pos - 1].rel_seq >= seq) {
+    if (buf[pos - 1].rel_seq == seq) return Arrival::kDuplicate;
+    --pos;
+  }
+  buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(pos), msg);
+  return Arrival::kBuffer;
+}
+
+void ReliableOverlay::drain_in_order(std::size_t edge, std::vector<Message>& out) {
+  auto& buf = recv_buf_[edge];
+  std::size_t k = 0;
+  while (k < buf.size() && buf[k].rel_seq == recv_next_[edge]) {
+    out.push_back(buf[k]);
+    recv_next_[edge] += 1;
+    ++k;
+  }
+  if (k != 0) buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(k));
+}
+
+void ReliableOverlay::fire_entry(const TimerEntry& t, std::uint64_t now,
+                                 const std::function<bool(NodeId)>& crashed,
+                                 std::vector<Message>& out) {
+  const std::size_t e = t.edge;
+  if (t.kind == TimerKind::kRetransmit) {
+    if (retrans_due_[e] != now) return;  // stale hint
+    auto& buf = send_buf_[e];
+    if (buf.empty()) {
+      retrans_due_[e] = 0;
+      --live_timers_;
+      return;
+    }
+    if (crashed(edge_tail_[e])) {
+      // A crashed sender can't act; the buffer survives and the timer
+      // re-arms at the same timeout (the crash, not congestion, is the
+      // cause) so retransmission resumes after the rejoin.
+      retrans_due_[e] = now + cur_rto_[e];
+      file_timer(now, retrans_due_[e], t.edge, TimerKind::kRetransmit);
+      return;
+    }
+    // Go-back-N: re-send every unacked message with a refreshed piggyback
+    // ack (which also covers any standalone ack owed on the reverse link).
+    const std::size_t rev = reverse_edge_[e];
+    const std::uint32_t piggy = recv_next_[rev] - 1;
+    if (ack_due_[rev] != 0) {
+      ack_due_[rev] = 0;
+      --live_timers_;
+    }
+    for (const Message& m : buf) {
+      Message& copy = out.emplace_back(m);
+      copy.rel_ack = piggy;
+    }
+    cur_rto_[e] = std::min(cur_rto_[e] * rto_.mult, rto_.max);
+    retrans_due_[e] = now + cur_rto_[e];
+    file_timer(now, retrans_due_[e], t.edge, TimerKind::kRetransmit);
+  } else {
+    if (ack_due_[e] != now) return;  // stale hint
+    const std::size_t rev = reverse_edge_[e];
+    if (crashed(edge_tail_[rev])) {
+      // The ack is owed by e's head, which is crashed; retry next round.
+      ack_due_[e] = now + 1;
+      file_timer(now, ack_due_[e], t.edge, TimerKind::kAck);
+      return;
+    }
+    Message& ack = out.emplace_back();
+    ack.from = edge_tail_[rev];
+    ack.to = edge_tail_[e];
+    ack.rel_seq = 0;  // standalone ack: no payload, header only
+    ack.rel_ack = recv_next_[e] - 1;
+    ack_due_[e] = 0;
+    --live_timers_;
+  }
+}
+
+void ReliableOverlay::collect_due(std::uint64_t now,
+                                  const std::function<bool(NodeId)>& crashed,
+                                  std::vector<Message>& out) {
+  // Far entries first (they were armed earliest), then the wheel bucket in
+  // append order — a fixed, deterministic service order.  Far keys the
+  // event-driven advance jumped past hold only stale hints (a live timer's
+  // round is always visited); fire_entry's due check discards them.
+  while (!far_timers_.empty() && far_timers_.begin()->first <= now) {
+    fire_scratch_.swap(far_timers_.begin()->second);
+    far_timers_.erase(far_timers_.begin());
+    for (const TimerEntry& t : fire_scratch_) fire_entry(t, now, crashed, out);
+    fire_scratch_.clear();
+  }
+  auto& bucket = timer_wheel_[now & kWheelMask];
+  // Swap out before firing: re-arms file into other buckets (fire rounds are
+  // always > now and wheel distances < kWheelSize), never this one.
+  fire_scratch_.swap(bucket);
+  for (const TimerEntry& t : fire_scratch_) fire_entry(t, now, crashed, out);
+  fire_scratch_.clear();
+}
+
+std::uint64_t ReliableOverlay::next_event_round(std::uint64_t now) const {
+  if (live_timers_ == 0) return static_cast<std::uint64_t>(-1);
+  const auto entry_live_at = [&](const TimerEntry& t, std::uint64_t fire) {
+    return t.kind == TimerKind::kRetransmit ? retrans_due_[t.edge] == fire
+                                            : ack_due_[t.edge] == fire;
+  };
+  std::uint64_t best = static_cast<std::uint64_t>(-1);
+  // A live far timer can sit closer than kWheelSize once rounds advance, so
+  // the far map is scanned unconditionally, not just past the wheel horizon.
+  for (const auto& [fire, entries] : far_timers_) {
+    if (fire <= now) continue;  // stale keys awaiting their cleanup sweep
+    bool live = false;
+    for (const TimerEntry& t : entries) {
+      if (entry_live_at(t, fire)) {
+        live = true;
+        break;
+      }
+    }
+    if (live) {
+      best = fire;
+      break;
+    }
+  }
+  for (std::uint64_t r = now + 1; r < now + kWheelSize && r < best; ++r) {
+    for (const TimerEntry& t : timer_wheel_[r & kWheelMask]) {
+      if (entry_live_at(t, r)) {
+        best = r;
+        break;
+      }
+    }
+    if (best == r) break;
+  }
+  return best;
+}
+
+}  // namespace dhc::congest

@@ -1,0 +1,179 @@
+// Reliable-delivery overlay for the async execution model.
+//
+// PR 7's first finding was that a 2% per-message drop rate stalls every
+// solver to hit_round_limit, because no protocol in the paper re-sends (the
+// CONGEST model assumes reliable links).  This overlay restores that
+// assumption *under* a lossy FaultPlan, as a transport layer inside the
+// Network rather than a patch to five solvers (DESIGN.md §9):
+//
+//   - every directed link carries a sequence number per payload message and
+//     a cumulative ack (highest contiguously delivered seq) piggybacked on
+//     whatever traffic flows the other way;
+//   - a receiver that got payload but has nothing to send back emits a
+//     standalone ack message (header-only) one round later;
+//   - the sender buffers unacked messages and retransmits them all
+//     (go-back-N) when a deterministic per-link timer fires, with
+//     exponential backoff (RtoSpec: initial timeout, multiplier, cap);
+//   - the receiver delivers in order exactly once: stale seqs are counted as
+//     duplicates and re-acked, ahead-of-order seqs are buffered.
+//
+// Determinism: the overlay consumes no RNG stream — all state transitions
+// are pure functions of the (deterministic) send/arrival/timer schedule, and
+// retransmitted messages flow through the same FaultPlan hash decisions as
+// first sends.  All overlay bookkeeping runs on the serial paths of the
+// engine (enqueue_async / maturation / timer service), which the shard merge
+// already replays in global send order, so runs stay bitwise identical at
+// any shard count.  Because the fault seed and the drop/delay hashes are
+// untouched, reliability=ack runs remain paired (common random numbers)
+// with their reliability=none controls on the same axes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "congest/message.h"
+#include "graph/graph.h"
+
+namespace dhc::congest {
+
+/// Retransmit-timer parameters.  Spec strings use ':' separators so they
+/// survive comma-separated scenario axis lists:
+///   "rto:K"            retransmit after K rounds without ack progress
+///   "rto:K:MULT"       timeout multiplies by MULT per consecutive fire
+///   "rto:K:MULT:MAX"   backoff capped at MAX rounds
+/// The "rto:" prefix is optional ("4:2:16" parses the same).  K must cover a
+/// link round trip (data latency + 1 round ack delay + ack latency) or every
+/// message is retransmitted spuriously; at unit delays the round trip is 3,
+/// so the default 4 is the tightest spurious-free timeout.  Tight matters:
+/// the paper's solvers calibrate settle timers for unit latency, and a large
+/// RTO turns every drop into cross-link skew they cannot absorb (DESIGN.md
+/// §9 measures the tolerance cliff).
+struct RtoSpec {
+  std::uint64_t initial = 4;
+  std::uint64_t mult = 2;
+  std::uint64_t max = 16;
+
+  /// Parses a spec string; throws std::invalid_argument on malformed input.
+  static RtoSpec parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+/// Reliability mode for the async backend:
+///   "none"  messages lost to drops stay lost (PR 7 behavior)
+///   "ack"   the seq/ack/retransmit overlay above
+struct ReliabilitySpec {
+  enum class Kind : std::uint8_t { kNone, kAck };
+
+  Kind kind = Kind::kNone;
+
+  /// Parses a spec string; throws std::invalid_argument on malformed input.
+  static ReliabilitySpec parse(const std::string& spec);
+  std::string to_string() const;
+
+  bool active() const { return kind == Kind::kAck; }
+};
+
+/// Per-link reliable-channel state machine.  Owned by the Network and driven
+/// from its serial paths only; the Network remains responsible for routing
+/// the messages this class produces through the FaultPlan (drops, delays,
+/// link FIFO) and for all Metrics accounting.
+class ReliableOverlay {
+ public:
+  ReliableOverlay(const graph::Graph& g, RtoSpec rto);
+
+  /// Receiver-side classification of one matured message.
+  enum class Arrival : std::uint8_t {
+    kDeliver,    ///< next in-order payload: deliver, then drain_in_order()
+    kBuffer,     ///< ahead of order: held until the gap fills
+    kDuplicate,  ///< already delivered (or already buffered): suppress
+    kAck,        ///< standalone ack: transport-only, nothing to deliver
+  };
+
+  /// Sender path, called for every protocol send on directed edge `edge`
+  /// (msg.from/msg.to already set).  Stamps a fresh sequence number and the
+  /// piggybacked cumulative ack for the reverse direction, buffers a
+  /// retransmit copy, and arms the link's timer if idle.
+  void stamp_and_buffer(std::size_t edge, Message& msg, std::uint64_t now);
+
+  /// Receiver path, called for every matured arrival on `edge` (the sending
+  /// direction's id).  Processes the piggybacked ack against the reverse
+  /// link, schedules the ack owed for payload, and classifies the payload.
+  Arrival on_arrival(std::size_t edge, const Message& msg, std::uint64_t now);
+
+  /// After a kDeliver: appends the buffered messages that became in-order,
+  /// in sequence order, and advances the receive cursor past them.
+  void drain_in_order(std::size_t edge, std::vector<Message>& out);
+
+  /// Fires every timer due at `now`, appending the messages the transport
+  /// owes the network — retransmit copies (rel_seq > 0, refreshed rel_ack)
+  /// and standalone acks (rel_seq == 0) — in deterministic timer order.
+  /// Timers owned by a currently crashed endpoint defer instead of firing
+  /// (the work survives the crash window; see DESIGN.md §9).
+  void collect_due(std::uint64_t now, const std::function<bool(NodeId)>& crashed,
+                   std::vector<Message>& out);
+
+  /// True while any link still owes traffic (unacked payload or a pending
+  /// standalone ack) — the overlay's contribution to the quiescence check.
+  bool any_pending() const { return live_timers_ != 0; }
+
+  /// Earliest round > `now` holding a live timer (UINT64_MAX when none);
+  /// folded into the engine's event-driven round advance.
+  std::uint64_t next_event_round(std::uint64_t now) const;
+
+  std::size_t reverse_edge(std::size_t edge) const { return reverse_edge_[edge]; }
+
+ private:
+  enum class TimerKind : std::uint8_t { kRetransmit, kAck };
+  struct TimerEntry {
+    std::uint32_t edge = 0;
+    TimerKind kind = TimerKind::kRetransmit;
+  };
+
+  // The timer wheel mirrors the Network's wake-up wheel geometry: one bucket
+  // per upcoming round, far-future timers in an ordered map.  Entries are
+  // hints, not state: re-arming files a new entry and leaves the old one
+  // stale; the due arrays below are the ground truth, checked at fire time
+  // (and by next_event_round), so stale entries are dropped for free.
+  static constexpr std::uint64_t kWheelBits = 10;
+  static constexpr std::uint64_t kWheelSize = 1ull << kWheelBits;
+  static constexpr std::uint64_t kWheelMask = kWheelSize - 1;
+
+  void file_timer(std::uint64_t now, std::uint64_t fire, std::uint32_t edge, TimerKind kind);
+  void process_ack(std::size_t edge, std::uint32_t ack, std::uint64_t now);
+  void schedule_ack(std::size_t edge, std::uint64_t now);
+  void fire_entry(const TimerEntry& e, std::uint64_t now,
+                  const std::function<bool(NodeId)>& crashed, std::vector<Message>& out);
+
+  RtoSpec rto_;
+
+  // Static link tables (CSR edge ids): the opposite direction of each
+  // directed edge, and its sending endpoint (head(e) == tail(reverse(e))).
+  std::vector<std::uint32_t> reverse_edge_;
+  std::vector<NodeId> edge_tail_;
+
+  // Sender state, per directed edge.  send_buf_ holds unacked messages in
+  // seq order; retrans_due_ == 0 means the timer is disarmed (timers always
+  // fire at rounds >= 1).
+  std::vector<std::uint32_t> next_seq_;
+  std::vector<std::uint32_t> acked_to_;
+  std::vector<std::vector<Message>> send_buf_;
+  std::vector<std::uint64_t> retrans_due_;
+  std::vector<std::uint64_t> cur_rto_;
+
+  // Receiver state, per directed edge: next expected seq, the out-of-order
+  // buffer (sorted by seq), and the round a standalone ack is owed at
+  // (0 = none pending).
+  std::vector<std::uint32_t> recv_next_;
+  std::vector<std::vector<Message>> recv_buf_;
+  std::vector<std::uint64_t> ack_due_;
+
+  std::vector<std::vector<TimerEntry>> timer_wheel_;
+  std::map<std::uint64_t, std::vector<TimerEntry>> far_timers_;
+  std::vector<TimerEntry> fire_scratch_;  // collect_due working set, reused
+  std::size_t live_timers_ = 0;           // armed retransmit + ack timers
+};
+
+}  // namespace dhc::congest

@@ -52,6 +52,17 @@ struct FaultTrace {
   std::uint64_t crashed_steps = 0;  ///< activations suppressed by crashes
 };
 
+/// Reliable-overlay activity of one async round (reliability=ack only, and
+/// only rounds with activity): retransmit copies and standalone acks sent by
+/// this round's timer service, duplicates suppressed among this round's
+/// matured arrivals.
+struct RetransTrace {
+  std::uint64_t round = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t acks_sent = 0;
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -80,6 +91,18 @@ class TraceSink {
   /// `--model=async`, and only for rounds where something was delayed,
   /// dropped, or crashed; default no-op so synchronous sinks need not care).
   virtual void on_faults(const FaultTrace& t) { (void)t; }
+
+  /// One async round's reliable-overlay activity (reliability=ack runs only,
+  /// rounds with activity only; default no-op).
+  virtual void on_retrans(const RetransTrace& t) { (void)t; }
+
+  /// Crashed nodes rejoining: the first executed round at (or after) the
+  /// crash window's end, with the number of nodes that were crashed.  Fired
+  /// at most once per run (default no-op).
+  virtual void on_rejoin(std::uint64_t round, std::uint64_t nodes) {
+    (void)round;
+    (void)nodes;
+  }
 };
 
 }  // namespace dhc::congest

@@ -176,6 +176,8 @@ void write_json(std::ostream& os, const std::string& scenario_name,
       os << "      \"delay_dist\": \"" << json_escape(c.delay_dist) << "\",\n";
       os << "      \"drop_prob\": " << fmt_num(c.drop_prob) << ",\n";
       os << "      \"crash_schedule\": \"" << json_escape(c.crash_schedule) << "\",\n";
+      os << "      \"reliability\": \"" << json_escape(c.reliability) << "\",\n";
+      os << "      \"rto\": \"" << json_escape(c.rto) << "\",\n";
       os << "      \"max_rounds\": " << c.max_rounds << ",\n";
     }
     os << "      \"trials\": " << s.trials << ",\n";

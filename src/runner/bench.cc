@@ -131,27 +131,33 @@ std::vector<BenchPreset> make_presets() {
     presets.push_back(std::move(p));
   }
   {
-    // The async fault-injection backend as a workload family: two solvers
-    // under a small grid of delivery-delay distributions crossed with drop
-    // probabilities.  Exercises the message delay wheel / far map and the
-    // per-message fault hashing on top of the simulator hot path, so it
-    // tracks fault-injection overhead; the fault axes are excluded from the
-    // derived seeds, so the drop_prob=0 column doubles as the paired
-    // control.
+    // The async fault-injection backend as a workload family: all five
+    // solvers under drop probabilities crossed with the reliability axis.
+    // The reliability=none x drop>0 cells replay PR 7's headline (every
+    // solver stalls); the reliability=ack cells measure what reliability
+    // costs instead — retransmit amplification per solver at each loss rate
+    // (the drop axes are excluded from the derived seeds, so the
+    // drop_prob=0 column doubles as the paired control, and the ack x
+    // drop=0 cells are bitwise-identical to their none controls).
     BenchPreset p;
     p.name = "fault_sweep";
-    p.description = "dhc2 + turau under async delays x drops (fault-injection bound)";
+    p.description =
+        "five solvers under async drops x {none, ack} reliability "
+        "(retransmit-amplification curves)";
     p.scenario.name = "bench-fault-sweep";
     p.scenario.model = ExecutionModel::kAsync;
-    p.scenario.algos = {Algorithm::kDhc2, Algorithm::kTurau};
+    p.scenario.algos = {Algorithm::kDhc2, Algorithm::kDhc1, Algorithm::kDra,
+                        Algorithm::kUpcast, Algorithm::kTurau};
     p.scenario.sizes = {256};
     p.scenario.deltas = {0.5};
     p.scenario.cs = {2.5};
-    p.scenario.delay_dists = {"fixed:1", "uniform:1:4"};
-    p.scenario.drop_probs = {0.0, 0.02};
-    // Dropped messages livelock solvers that assume reliable delivery; the
-    // budget turns those cells into fast hit_round_limit failures so the
-    // bench measures fault-injection overhead, not livelock endurance.
+    p.scenario.delay_dists = {"fixed:1"};
+    p.scenario.drop_probs = {0.0, 0.02, 0.05};
+    p.scenario.reliabilities = {"none", "ack"};
+    // Dropped messages stall solvers that assume reliable delivery; the
+    // budget turns the reliability=none loss cells into fast
+    // hit_round_limit failures so the bench measures overlay overhead, not
+    // stall endurance.
     p.scenario.max_rounds = 200000;
     p.scenario.seeds = 2;
     p.scenario.base_seed = 805;
@@ -254,6 +260,12 @@ BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions
   for (const auto& r : results) {
     if (r.success) ++m.successes;
     m.messages_total += static_cast<std::uint64_t>(r.messages);
+    // Async trials report payload_messages (messages minus overlay
+    // retransmit/ack traffic); everywhere else the two counters coincide.
+    const auto payload = r.stats.find("payload_messages");
+    m.payload_messages_total += payload != r.stats.end()
+                                    ? static_cast<std::uint64_t>(payload->second)
+                                    : static_cast<std::uint64_t>(r.messages);
     for (const auto& [key, value] : r.stats) {
       if (key.rfind("phase_", 0) == 0) m.phase_rounds_mean[key] += value;
     }
@@ -271,7 +283,7 @@ BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions
 
 void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& measurements,
                       unsigned threads, std::uint32_t shards) {
-  os << "{\n  \"bench\": \"congest\",\n  \"schema\": 3,\n  \"threads\": " << threads
+  os << "{\n  \"bench\": \"congest\",\n  \"schema\": 4,\n  \"threads\": " << threads
      << ",\n  \"shards\": " << shards << ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < measurements.size(); ++i) {
     const auto& m = measurements[i];
@@ -280,6 +292,7 @@ void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& mea
        << ", \"shards\": " << m.shards << ", \"wall_seconds\": " << m.wall_seconds
        << ", \"trials_per_sec\": " << m.trials_per_sec
        << ", \"messages_total\": " << m.messages_total
+       << ", \"payload_messages_total\": " << m.payload_messages_total
        << ", \"messages_per_sec\": " << m.messages_per_sec
        << ", \"peak_rss_kb\": " << m.peak_rss_kb
        << ", \"node_stats\": \"" << m.node_stats << "\", \"phases\": {";

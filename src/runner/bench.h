@@ -55,6 +55,11 @@ struct BenchMeasurement {
   /// Total CONGEST messages simulated across all trials and the resulting
   /// simulator throughput — the most layout-sensitive number here.
   std::uint64_t messages_total = 0;
+  /// messages_total minus reliable-overlay retransmit/ack traffic (async
+  /// presets; identical to messages_total everywhere else).  The bench gate
+  /// compares this one: it pins the solver workload while letting RTO tuning
+  /// change the overlay traffic.
+  std::uint64_t payload_messages_total = 0;
   double messages_per_sec = 0.0;
   /// Peak RSS of this preset alone (VmHWM, reset via /proc/self/clear_refs
   /// before the preset runs).  Falls back to the monotone getrusage maximum
@@ -72,7 +77,7 @@ struct BenchMeasurement {
 /// expansion and artifact writing are excluded).
 BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions& opt);
 
-/// BENCH_congest.json: {"bench": "congest", "schema": 3, "threads": T,
+/// BENCH_congest.json: {"bench": "congest", "schema": 4, "threads": T,
 /// "shards": S, "scenarios": [...]} where threads/shards are the requested
 /// options (shards 0 = auto) and every scenario records the resolved
 /// per-preset split, its node_stats mode, and a "phases" map of mean rounds

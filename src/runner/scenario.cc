@@ -119,8 +119,11 @@ void Scenario::validate() const {
   DHC_REQUIRE(!delay_dists.empty(), "scenario needs at least one delay distribution");
   DHC_REQUIRE(!drop_probs.empty(), "scenario needs at least one drop probability");
   DHC_REQUIRE(!crash_schedules.empty(), "scenario needs at least one crash schedule");
+  DHC_REQUIRE(!reliabilities.empty(), "scenario needs at least one reliability mode");
   for (const auto& spec : delay_dists) congest::DelaySpec::parse(spec);  // throws if malformed
   for (const auto& spec : crash_schedules) congest::CrashSpec::parse(spec);
+  for (const auto& spec : reliabilities) congest::ReliabilitySpec::parse(spec);
+  congest::RtoSpec::parse(rto);
   for (const double p : drop_probs) {
     DHC_REQUIRE(p >= 0.0 && p < 1.0, "drop_prob must lie in [0, 1), got " << p);
   }
@@ -138,6 +141,9 @@ void Scenario::validate() const {
                                   crash_schedules != std::vector<std::string>{"none"};
     DHC_REQUIRE(!faults_requested,
                 "delay_dist / drop_prob / crash_schedule need model = async");
+    const bool reliability_requested =
+        reliabilities != std::vector<std::string>{"none"} || rto != Scenario{}.rto;
+    DHC_REQUIRE(!reliability_requested, "reliability / rto need model = async");
     DHC_REQUIRE(max_rounds == 0, "max_rounds needs model = async");
   }
 }
@@ -198,6 +204,7 @@ std::vector<TrialConfig> expand(const Scenario& s) {
     const auto& delay_axis = async ? s.delay_dists : kNoFaultSpec;
     const auto& drop_axis = async ? s.drop_probs : kNoDrop;
     const auto& crash_axis = async ? s.crash_schedules : kNoFaultSpec;
+    const auto& reliability_axis = async ? s.reliabilities : kNoFaultSpec;
     for (const auto size : s.sizes) {
       for (const double delta : s.deltas) {
         for (const double c : s.cs) {
@@ -206,47 +213,52 @@ std::vector<TrialConfig> expand(const Scenario& s) {
               for (const auto& delay_dist : delay_axis) {
                 for (const double drop_prob : drop_axis) {
                   for (const auto& crash_schedule : crash_axis) {
-                    for (std::uint64_t t = 0; t < s.seeds; ++t) {
-                      TrialConfig tc;
-                      tc.config_index = cell;
-                      tc.trial_index = t;
-                      tc.algo = algo;
-                      tc.model = kmachine ? ExecutionModel::kKMachine
-                                          : (async ? ExecutionModel::kAsync
-                                                   : ExecutionModel::kCongest);
-                      tc.family = s.family;
-                      tc.n = static_cast<graph::NodeId>(size);
-                      tc.delta = delta;
-                      tc.c = c;
-                      tc.merge = merge;
-                      tc.machines = static_cast<std::uint32_t>(k);
-                      tc.bandwidth = kmachine ? static_cast<std::uint64_t>(s.bandwidth) : 0;
-                      tc.delay_dist = delay_dist;
-                      tc.drop_prob = drop_prob;
-                      tc.crash_schedule = crash_schedule;
-                      tc.max_rounds = async ? s.max_rounds : 0;
-                      // The graph seed depends only on the instance
-                      // parameters, so trials that differ in algorithm /
-                      // merge strategy / machine count / fault intensity but
-                      // share (family, n, delta, c, trial) run on the *same*
-                      // graph — head-to-head comparisons are paired by
-                      // construction.  The algorithm seed is per seed_group:
-                      // per-cell except that the machine-count and fault
-                      // axes are excluded, so cells differing only in k or
-                      // fault intensity run the same underlying execution
-                      // (faults perturb it from identical initial
-                      // randomness).
-                      tc.graph_seed = derive_seed(
-                          s.base_seed,
-                          {static_cast<std::uint64_t>(s.family),
-                           static_cast<std::uint64_t>(tc.n),
-                           std::bit_cast<std::uint64_t>(delta),
-                           std::bit_cast<std::uint64_t>(c), t},
-                          0x67);
-                      tc.algo_seed = derive_seed(s.base_seed, {seed_group, t}, 0xa1);
-                      trials.push_back(tc);
+                    for (const auto& reliability : reliability_axis) {
+                      for (std::uint64_t t = 0; t < s.seeds; ++t) {
+                        TrialConfig tc;
+                        tc.config_index = cell;
+                        tc.trial_index = t;
+                        tc.algo = algo;
+                        tc.model = kmachine ? ExecutionModel::kKMachine
+                                            : (async ? ExecutionModel::kAsync
+                                                     : ExecutionModel::kCongest);
+                        tc.family = s.family;
+                        tc.n = static_cast<graph::NodeId>(size);
+                        tc.delta = delta;
+                        tc.c = c;
+                        tc.merge = merge;
+                        tc.machines = static_cast<std::uint32_t>(k);
+                        tc.bandwidth = kmachine ? static_cast<std::uint64_t>(s.bandwidth) : 0;
+                        tc.delay_dist = delay_dist;
+                        tc.drop_prob = drop_prob;
+                        tc.crash_schedule = crash_schedule;
+                        tc.reliability = reliability;
+                        tc.rto = async ? s.rto : "";
+                        tc.max_rounds = async ? s.max_rounds : 0;
+                        // The graph seed depends only on the instance
+                        // parameters, so trials that differ in algorithm /
+                        // merge strategy / machine count / fault intensity
+                        // but share (family, n, delta, c, trial) run on the
+                        // *same* graph — head-to-head comparisons are paired
+                        // by construction.  The algorithm seed is per
+                        // seed_group: per-cell except that the machine-count,
+                        // fault, and reliability axes are excluded, so cells
+                        // differing only in k, fault intensity, or transport
+                        // reliability run the same underlying execution
+                        // (faults perturb it from identical initial
+                        // randomness).
+                        tc.graph_seed = derive_seed(
+                            s.base_seed,
+                            {static_cast<std::uint64_t>(s.family),
+                             static_cast<std::uint64_t>(tc.n),
+                             std::bit_cast<std::uint64_t>(delta),
+                             std::bit_cast<std::uint64_t>(c), t},
+                            0x67);
+                        tc.algo_seed = derive_seed(s.base_seed, {seed_group, t}, 0xa1);
+                        trials.push_back(tc);
+                      }
+                      ++cell;
                     }
-                    ++cell;
                   }
                 }
               }
@@ -365,6 +377,10 @@ Scenario scenario_from_spec(const std::map<std::string, std::string>& spec) {
       s.drop_probs = parse_double_list(key, value);
     } else if (key == "crash_schedule") {
       s.crash_schedules = split_commas(key, value);
+    } else if (key == "reliability") {
+      s.reliabilities = split_commas(key, value);
+    } else if (key == "rto") {
+      s.rto = value;
     } else if (key == "max_rounds") {
       s.max_rounds = static_cast<std::uint64_t>(parse_int(key, value));
     } else {
@@ -457,6 +473,10 @@ Scenario scenario_from_cli(const support::Cli& cli) {
   if (cli.has("crash_schedule")) {
     s.crash_schedules = split_commas("crash_schedule", cli.get_string("crash_schedule", ""));
   }
+  if (cli.has("reliability")) {
+    s.reliabilities = split_commas("reliability", cli.get_string("reliability", ""));
+  }
+  if (cli.has("rto")) s.rto = cli.get_string("rto", s.rto);
   s.validate();
   return s;
 }

@@ -97,6 +97,15 @@ struct Scenario {
   std::vector<std::string> delay_dists = {"none"};
   std::vector<double> drop_probs = {0.0};
   std::vector<std::string> crash_schedules = {"none"};
+  /// Reliability modes for the async transport (congest/reliable.h): "none"
+  /// loses dropped messages for good, "ack" re-sends until acknowledged.  A
+  /// sweep axis like the fault axes above, excluded from both derived seeds
+  /// so reliability=ack cells stay paired with their reliability=none
+  /// controls.
+  std::vector<std::string> reliabilities = {"none"};
+  /// Retransmit timeout/backoff spec shared by every reliability=ack cell
+  /// (congest/reliable.h grammar: rto:K[:MULT[:MAX]]).
+  std::string rto = "rto:4:2:16";
   /// Per-trial round budget under model = async (0 = engine default).  Fault
   /// injection can livelock a protocol that assumes reliable synchronous
   /// delivery; a budget turns that into a fast hit_round_limit failure
@@ -140,6 +149,10 @@ struct TrialConfig {
   std::string delay_dist = "none";
   double drop_prob = 0.0;
   std::string crash_schedule = "none";
+  /// Async transport reliability ("none" unless model == kAsync).  Excluded
+  /// from the derived seeds like the fault axes, so ack/none cells pair.
+  std::string reliability = "none";
+  std::string rto;                ///< empty unless model == kAsync.
   std::uint64_t max_rounds = 0;   ///< 0 unless model == kAsync (0 = engine default).
   std::uint64_t graph_seed = 0;
   std::uint64_t algo_seed = 0;
@@ -158,8 +171,9 @@ std::vector<TrialConfig> expand(const Scenario& s);
 /// Builds a Scenario from a key=value map (the shared core of file and CLI
 /// parsing).  Recognized keys: name, algos (or algo), model, family, sizes,
 /// deltas, cs, merges, machines (or k_list), bandwidth, seeds, seed,
-/// node_stats, delay_dist, drop_prob, crash_schedule, max_rounds.  Unknown
-/// keys and malformed values throw std::invalid_argument.
+/// node_stats, delay_dist, drop_prob, crash_schedule, reliability, rto,
+/// max_rounds.  Unknown keys and malformed values throw
+/// std::invalid_argument.
 Scenario scenario_from_spec(const std::map<std::string, std::string>& spec);
 
 /// Parses a scenario file: one `key = value` per line, `#` comments and

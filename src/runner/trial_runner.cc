@@ -213,16 +213,31 @@ void run_async_trial(TrialResult& out, const graph::Graph& g, const TrialConfig&
   acfg.crash = congest::CrashSpec::parse(t.crash_schedule);
   acfg.max_rounds = t.max_rounds;
   acfg.shards = opt.shards;
+  acfg.reliability = congest::ReliabilitySpec::parse(t.reliability);
+  acfg.rto = t.rto.empty() ? congest::RtoSpec{} : congest::RtoSpec::parse(t.rto);
   auto outcome = async::run_async(algo, g, t.algo_seed, acfg);
   if (rec != nullptr) rec->finalize(outcome.result.metrics);
   fill_from_result(out, outcome.result);
+  // A round-limit failure is ambiguous on its own: a quiescent network means
+  // the protocol *stalled* (e.g. a lost message nobody re-sends), while
+  // pending traffic means it was still *live* (delay-induced livelock).
+  // Suffix the reason so sweeps can tell them apart without reading traces.
+  if (outcome.report.hit_round_limit) {
+    out.failure_reason += outcome.report.round_limit_live ? " (live)" : " (stalled)";
+  }
   out.stats["delayed_messages"] = static_cast<double>(outcome.report.delayed_messages);
   out.stats["dropped_messages"] = static_cast<double>(outcome.report.dropped_messages);
   out.stats["crash_dropped_messages"] =
       static_cast<double>(outcome.report.crash_dropped_messages);
   out.stats["crashed_steps"] = static_cast<double>(outcome.report.crashed_steps);
   out.stats["crashed_nodes"] = static_cast<double>(outcome.report.crashed_nodes);
+  out.stats["crashed_rejoins"] = static_cast<double>(outcome.report.crashed_rejoins);
+  out.stats["retransmits"] = static_cast<double>(outcome.report.retransmits);
+  out.stats["dup_suppressed"] = static_cast<double>(outcome.report.dup_suppressed);
+  out.stats["acks_sent"] = static_cast<double>(outcome.report.acks_sent);
+  out.stats["payload_messages"] = static_cast<double>(outcome.report.payload_messages);
   out.stats["hit_round_limit"] = outcome.report.hit_round_limit ? 1.0 : 0.0;
+  out.stats["round_limit_live"] = outcome.report.round_limit_live ? 1.0 : 0.0;
   if (opt.verify) verify_incidence(out, g, outcome.result.cycle);
 }
 

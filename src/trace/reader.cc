@@ -91,6 +91,11 @@ TraceData read_trace(std::istream& in) {
     } else if (type == "fault") {
       data.faults.push_back({v.u64("r"), v.u64("delayed"), v.u64("dropped"),
                              v.u64("crash_dropped"), v.u64("crashed_steps")});
+    } else if (type == "retrans") {
+      data.retrans.push_back(
+          {v.u64("r"), v.u64("retransmits"), v.u64("dup_suppressed"), v.u64("acks_sent")});
+    } else if (type == "rejoin") {
+      data.rejoins.push_back({v.u64("r"), v.u64("nodes")});
     } else if (type == "span") {
       PhaseSpan s;
       s.label = v.str("label");
@@ -117,8 +122,8 @@ TraceData read_trace(std::istream& in) {
                                   ": unknown record type \"" + type + '"');
     }
   }
-  if (data.schema != 1 && data.schema != 2) {
-    throw std::invalid_argument("trace stream missing a schema-1/2 meta line");
+  if (data.schema < 1 || data.schema > 3) {
+    throw std::invalid_argument("trace stream missing a schema-1/2/3 meta line");
   }
   return data;
 }

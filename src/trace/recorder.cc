@@ -72,6 +72,14 @@ void TraceRecorder::on_faults(const congest::FaultTrace& t) {
   faults_.push_back({t.round, t.delayed, t.dropped, t.crash_dropped, t.crashed_steps});
 }
 
+void TraceRecorder::on_retrans(const congest::RetransTrace& t) {
+  retrans_.push_back({t.round, t.retransmits, t.dup_suppressed, t.acks_sent});
+}
+
+void TraceRecorder::on_rejoin(std::uint64_t round, std::uint64_t nodes) {
+  rejoins_.push_back({round, nodes});
+}
+
 void TraceRecorder::finalize(const congest::Metrics& metrics) {
   metrics_ = metrics;
   // Only the totals, summaries, and phase marks are needed for the summary
@@ -140,7 +148,7 @@ void TraceRecorder::write_ndjson(std::ostream& os, const TraceWriteOptions& opt)
   DHC_REQUIRE(finalized_, "TraceRecorder::write_ndjson requires finalize()");
   const auto wall = [&](std::uint64_t ns) { return opt.walls ? ns : 0; };
 
-  os << "{\"type\":\"meta\",\"schema\":2"
+  os << "{\"type\":\"meta\",\"schema\":3"
      << ",\"algo\":\"" << json_escape(meta_.algo) << '"'
      << ",\"model\":\"" << json_escape(meta_.model) << '"'
      << ",\"family\":\"" << json_escape(meta_.family) << '"'
@@ -155,25 +163,31 @@ void TraceRecorder::write_ndjson(std::ostream& os, const TraceWriteOptions& opt)
   if (opt.shard_profile) os << ",\"shards\":" << meta_.shards;
   os << "}\n";
 
-  // The chronological stream: phase marks, rounds, fault deltas, k-round
-  // charges, and barriers merged by round (a phase mark at round R precedes
-  // R's record; a fault delta, a k-round charge, and a barrier at R follow
-  // it, in that order).
-  std::size_t pi = 0, ri = 0, fi = 0, ki = 0, bi = 0;
+  // The chronological stream: phase marks, rounds, fault/retrans deltas,
+  // rejoin marks, k-round charges, and barriers merged by round (a phase
+  // mark at round R precedes R's record; a fault delta, a retrans delta, a
+  // rejoin mark, a k-round charge, and a barrier at R follow it, in that
+  // order).
+  std::size_t pi = 0, ri = 0, fi = 0, xi = 0, ji = 0, ki = 0, bi = 0;
   const auto phase_key = [&] { return pi < phases_.size() ? phases_[pi].from_round * 8 + 0
                                                           : ~std::uint64_t{0}; };
   const auto round_key = [&] { return ri < rounds_.size() ? rounds_[ri].round * 8 + 1
                                                           : ~std::uint64_t{0}; };
   const auto fault_key = [&] { return fi < faults_.size() ? faults_[fi].round * 8 + 2
                                                           : ~std::uint64_t{0}; };
-  const auto kround_key = [&] { return ki < krounds_.size() ? krounds_[ki].congest_round * 8 + 3
+  const auto retrans_key = [&] { return xi < retrans_.size() ? retrans_[xi].round * 8 + 3
+                                                             : ~std::uint64_t{0}; };
+  const auto rejoin_key = [&] { return ji < rejoins_.size() ? rejoins_[ji].round * 8 + 4
                                                             : ~std::uint64_t{0}; };
-  const auto barrier_key = [&] { return bi < barriers_.size() ? barriers_[bi].round * 8 + 4
+  const auto kround_key = [&] { return ki < krounds_.size() ? krounds_[ki].congest_round * 8 + 5
+                                                            : ~std::uint64_t{0}; };
+  const auto barrier_key = [&] { return bi < barriers_.size() ? barriers_[bi].round * 8 + 6
                                                               : ~std::uint64_t{0}; };
   while (true) {
-    const std::uint64_t keys[5] = {phase_key(), round_key(), fault_key(), kround_key(),
-                                   barrier_key()};
-    const std::uint64_t best = std::min({keys[0], keys[1], keys[2], keys[3], keys[4]});
+    const std::uint64_t keys[7] = {phase_key(),  round_key(),  fault_key(), retrans_key(),
+                                   rejoin_key(), kround_key(), barrier_key()};
+    const std::uint64_t best =
+        std::min({keys[0], keys[1], keys[2], keys[3], keys[4], keys[5], keys[6]});
     if (best == ~std::uint64_t{0}) break;
     if (best == keys[0]) {
       os << "{\"type\":\"phase\",\"label\":\"" << json_escape(phases_[pi].label)
@@ -206,6 +220,16 @@ void TraceRecorder::write_ndjson(std::ostream& os, const TraceWriteOptions& opt)
          << ",\"crashed_steps\":" << f.crashed_steps << "}\n";
       ++fi;
     } else if (best == keys[3]) {
+      const RetransRecord& x = retrans_[xi];
+      os << "{\"type\":\"retrans\",\"r\":" << x.round << ",\"retransmits\":" << x.retransmits
+         << ",\"dup_suppressed\":" << x.dup_suppressed << ",\"acks_sent\":" << x.acks_sent
+         << "}\n";
+      ++xi;
+    } else if (best == keys[4]) {
+      os << "{\"type\":\"rejoin\",\"r\":" << rejoins_[ji].round
+         << ",\"nodes\":" << rejoins_[ji].nodes << "}\n";
+      ++ji;
+    } else if (best == keys[5]) {
       os << "{\"type\":\"kround\",\"r\":" << krounds_[ki].congest_round
          << ",\"busiest\":" << krounds_[ki].busiest << ",\"charge\":" << krounds_[ki].charge
          << "}\n";
@@ -240,6 +264,18 @@ void TraceRecorder::write_ndjson(std::ostream& os, const TraceWriteOptions& opt)
        << ",\"dropped_messages\":" << metrics_.dropped_messages
        << ",\"crash_dropped_messages\":" << metrics_.crash_dropped_messages
        << ",\"crashed_steps\":" << metrics_.crashed_steps;
+  }
+  if (metrics_.retransmits != 0 || metrics_.dup_suppressed != 0 || metrics_.acks_sent != 0) {
+    os << ",\"retransmits\":" << metrics_.retransmits
+       << ",\"dup_suppressed\":" << metrics_.dup_suppressed
+       << ",\"acks_sent\":" << metrics_.acks_sent
+       << ",\"payload_messages\":" << metrics_.payload_messages();
+  }
+  if (metrics_.crashed_rejoins != 0) {
+    os << ",\"crashed_rejoins\":" << metrics_.crashed_rejoins;
+  }
+  if (metrics_.hit_round_limit) {
+    os << ",\"round_limit_live\":" << (metrics_.round_limit_live ? 1 : 0);
   }
   os << "}\n";
 

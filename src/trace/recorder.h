@@ -2,8 +2,9 @@
 // as NDJSON (newline-delimited JSON, one record per line — streamable,
 // grep-able, diff-able).
 //
-// Schema v2 (DESIGN.md §7; v2 = v1 plus the "fault" line type for async
-// runs).  Line types, in file order:
+// Schema v3 (DESIGN.md §7; v2 = v1 plus the "fault" line type for async
+// runs; v3 = v2 plus the "retrans" and "rejoin" line types for the reliable
+// overlay and crash-window recovery).  Line types, in file order:
 //
 //   meta     run identity: algo/model/family/n/m/seeds/…, node_stats mode,
 //            and (shard-profile fields) the shard count
@@ -12,6 +13,10 @@
 //            wall_ns, and on sharded rounds the per-shard profile arrays
 //   fault    per-round fault-injection deltas (async runs, rounds where
 //            something was delayed/dropped/crashed only)
+//   retrans  per-round reliable-overlay deltas (reliability=ack runs, rounds
+//            with retransmit/duplicate/ack activity only)
+//   rejoin   the round crashed nodes silently rejoined, with their count
+//            (async runs with a crash window only)
 //   barrier  a quiescence barrier: round it fired after + round charge
 //   kround   one k-machine-priced CONGEST round (k-machine runs only)
 //   span     per-phase rollup computed at finalize: [from,to) rounds,
@@ -98,6 +103,22 @@ struct FaultRecord {
   std::uint64_t crashed_steps = 0;
 };
 
+/// Per-round reliable-overlay deltas (reliability=ack runs; emitted only for
+/// rounds with overlay activity).  Mirrors congest::RetransTrace.
+struct RetransRecord {
+  std::uint64_t round = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t acks_sent = 0;
+};
+
+/// The round crashed nodes silently rejoined with stale state (async runs
+/// with a crash window; at most one per run).
+struct RejoinRecord {
+  std::uint64_t round = 0;
+  std::uint64_t nodes = 0;
+};
+
 /// Per-phase rollup over one span [from, to): computed by finalize().  Spans
 /// partition [first round, rounds + 1); rounds executed before the first
 /// phase mark get a synthetic "(untagged)" span so Σ span counters always
@@ -134,6 +155,8 @@ class TraceRecorder final : public congest::TraceSink {
   void on_kround(std::uint64_t congest_round, std::uint64_t busiest_link,
                  std::uint64_t charge) override;
   void on_faults(const congest::FaultTrace& t) override;
+  void on_retrans(const congest::RetransTrace& t) override;
+  void on_rejoin(std::uint64_t round, std::uint64_t nodes) override;
 
   /// Computes the per-phase spans and captures the run totals.  Call once,
   /// after the run; write_ndjson() requires it.
@@ -150,6 +173,8 @@ class TraceRecorder final : public congest::TraceSink {
   const std::vector<BarrierRecord>& barriers() const { return barriers_; }
   const std::vector<KRoundRecord>& krounds() const { return krounds_; }
   const std::vector<FaultRecord>& faults() const { return faults_; }
+  const std::vector<RetransRecord>& retrans() const { return retrans_; }
+  const std::vector<RejoinRecord>& rejoins() const { return rejoins_; }
   const std::vector<PhaseSpan>& spans() const { return spans_; }
   std::uint64_t kmachine_rounds_total() const { return kround_charge_total_; }
   const congest::Metrics& metrics() const { return metrics_; }
@@ -162,6 +187,8 @@ class TraceRecorder final : public congest::TraceSink {
   std::vector<BarrierRecord> barriers_;
   std::vector<KRoundRecord> krounds_;
   std::vector<FaultRecord> faults_;
+  std::vector<RetransRecord> retrans_;
+  std::vector<RejoinRecord> rejoins_;
   std::vector<PhaseSpan> spans_;
   std::uint64_t kround_charge_total_ = 0;
   congest::Metrics metrics_;  // node vectors cleared at finalize (totals only)

@@ -2,7 +2,7 @@
 // counter, phase-span accounting, the k-machine kround stream, the reader
 // round trip, and the run_trial trace-file integration.
 //
-// The golden file pins the byte-exact schema-v2 output (wall fields zeroed,
+// The golden file pins the byte-exact schema-v3 output (wall fields zeroed,
 // shard-profile fields omitted — the deterministic projection).  Regenerate
 // after a reviewed schema change with:
 //
@@ -73,7 +73,7 @@ std::string golden_projection(std::uint32_t shards) {
   return os.str();
 }
 
-TEST(TraceGolden, SchemaV2IsPinned) {
+TEST(TraceGolden, SchemaV3IsPinned) {
   const std::string got = golden_projection(/*shards=*/1);
   const std::string path = DHC_TRACE_GOLDEN_FILE;
 
@@ -203,7 +203,7 @@ TEST(TraceReader, RoundTripPreservesEveryRecord) {
   rec.write_ndjson(ss);  // full output: walls + shard profile on
   const TraceData data = read_trace(ss);
 
-  EXPECT_EQ(data.schema, 2u);
+  EXPECT_EQ(data.schema, 3u);
   EXPECT_EQ(data.meta_str("algo"), "turau");
   EXPECT_EQ(data.meta_u64("n"), 80u);
   EXPECT_EQ(data.meta_u64("m"), g.m());
@@ -251,7 +251,7 @@ TEST(TraceReader, FaultRecordsRoundTripFromAnAsyncRun) {
   rec.write_ndjson(ss);
   const TraceData data = read_trace(ss);
 
-  EXPECT_EQ(data.schema, 2u);
+  EXPECT_EQ(data.schema, 3u);
   ASSERT_EQ(data.faults.size(), rec.faults().size());
   std::uint64_t delayed = 0, dropped = 0;
   for (std::size_t i = 0; i < data.faults.size(); ++i) {
@@ -268,6 +268,58 @@ TEST(TraceReader, FaultRecordsRoundTripFromAnAsyncRun) {
   EXPECT_EQ(dropped, r.metrics.dropped_messages);
   EXPECT_EQ(data.summary_u64("delayed_messages"), r.metrics.delayed_messages);
   EXPECT_EQ(data.summary_u64("dropped_messages"), r.metrics.dropped_messages);
+}
+
+TEST(TraceReader, RetransAndRejoinRecordsRoundTripFromAReliableRun) {
+  // Schema v3: reliability=ack runs interleave "retrans" lines with the
+  // round stream (and crash-window runs a "rejoin" line); the per-round
+  // deltas must survive the reader and sum to the summary totals.
+  const graph::Graph g = instance(96, 3.0, 0.75, 18);
+  TraceRecorder rec;
+  rec.set_meta(meta_for("dhc2", 96, g.m(), 3));
+  congest::FaultPlan plan(congest::DelaySpec::parse("fixed:1"), /*drop_prob=*/0.05,
+                          congest::CrashSpec::parse("random:0.2:40:30"), /*fault_seed=*/91,
+                          /*max_rounds=*/200000);
+  plan.set_reliability(congest::ReliabilitySpec::parse("ack"), congest::RtoSpec{});
+  core::Dhc2Config cfg;
+  cfg.trace = &rec;
+  cfg.faults = &plan;
+  const auto r = core::run_dhc2(g, 3, cfg);
+  rec.finalize(r.metrics);
+  rec.set_outcome(r.success, r.failure_reason);
+
+  ASSERT_FALSE(rec.retrans().empty());
+  std::stringstream ss;
+  rec.write_ndjson(ss);
+  const TraceData data = read_trace(ss);
+
+  EXPECT_EQ(data.schema, 3u);
+  ASSERT_EQ(data.retrans.size(), rec.retrans().size());
+  std::uint64_t retransmits = 0, dups = 0, acks = 0;
+  for (std::size_t i = 0; i < data.retrans.size(); ++i) {
+    EXPECT_EQ(data.retrans[i].round, rec.retrans()[i].round);
+    EXPECT_EQ(data.retrans[i].retransmits, rec.retrans()[i].retransmits);
+    EXPECT_EQ(data.retrans[i].dup_suppressed, rec.retrans()[i].dup_suppressed);
+    EXPECT_EQ(data.retrans[i].acks_sent, rec.retrans()[i].acks_sent);
+    retransmits += data.retrans[i].retransmits;
+    dups += data.retrans[i].dup_suppressed;
+    acks += data.retrans[i].acks_sent;
+  }
+  EXPECT_EQ(retransmits, r.metrics.retransmits);
+  EXPECT_EQ(dups, r.metrics.dup_suppressed);
+  EXPECT_EQ(acks, r.metrics.acks_sent);
+  EXPECT_EQ(data.summary_u64("retransmits"), r.metrics.retransmits);
+  EXPECT_EQ(data.summary_u64("payload_messages"), r.metrics.payload_messages());
+
+  // The crash window closed mid-run, so the rejoin mark must round-trip too.
+  ASSERT_EQ(data.rejoins.size(), rec.rejoins().size());
+  ASSERT_EQ(data.rejoins.size(), 1u);
+  EXPECT_EQ(data.rejoins[0].round, rec.rejoins()[0].round);
+  EXPECT_EQ(data.rejoins[0].nodes, rec.rejoins()[0].nodes);
+  EXPECT_EQ(data.rejoins[0].nodes, r.metrics.crashed_rejoins);
+  EXPECT_GT(data.rejoins[0].nodes, 0u);
+  EXPECT_GE(data.rejoins[0].round, 70u);  // window [40, 70) closes at 70
+  EXPECT_EQ(data.summary_u64("crashed_rejoins"), r.metrics.crashed_rejoins);
 }
 
 TEST(TraceReader, SeedsSurviveExactly) {

@@ -30,6 +30,11 @@
 //   --drop_prob=LIST  per-message loss probabilities in [0, 1) (async)
 //   --crash_schedule=LIST  node crash windows for --model=async, each
 //                     none | random:FRAC:START:DURATION
+//   --reliability=LIST  async transport reliability, each none | ack — ack
+//                     adds the per-link seq/ack + retransmit overlay
+//                     (congest/reliable.h) so solvers survive drops/crashes
+//   --rto=SPEC        retransmit timeout for --reliability=ack:
+//                     rto:K[:MULT[:MAX]] (default rto:4:2:16)
 //   --max_rounds=N    per-trial round budget for --model=async (0 = engine
 //                     default; faulted runs that stall fail fast with
 //                     hit_round_limit instead of crawling to the ceiling)
@@ -150,7 +155,7 @@ int main(int argc, char** argv) {
                    "[--model=congest|kmachine|async] "
                    "[--sizes=...] [--deltas=...] [--cs=...] [--k=...] [--bandwidth=N] "
                    "[--delay_dist=...] [--drop_prob=...] [--crash_schedule=...] "
-                   "[--max_rounds=N] "
+                   "[--reliability=none|ack] [--rto=SPEC] [--max_rounds=N] "
                    "[--seeds=N] [--threads=N] [--json=PATH] [--csv=PATH]\n"
                    "algorithms: sequential|dra|dhc1|dhc2|upcast|collect-all|"
                    "dhc2-kmachine|turau\n"
@@ -158,7 +163,8 @@ int main(int argc, char** argv) {
                    "(sweeps --k machine counts).\n"
                    "--model=async injects seed-deterministic delivery delays "
                    "(--delay_dist), drops (--drop_prob), and crashes "
-                   "(--crash_schedule).\n"
+                   "(--crash_schedule); --reliability=ack adds the "
+                   "retransmit overlay (tune with --rto).\n"
                    "See the header of tools/dhc_run.cc for the full flag list.\n";
       return EXIT_SUCCESS;
     }

@@ -14,8 +14,13 @@
 //   --bench-gate=BENCH_JSON  compare against --baseline=BENCH_JSON: exit 1
 //                            when any preset's trials_per_sec regressed by
 //                            more than --tolerance (default 0.15), or when
-//                            messages_total changed at all (a behavior
-//                            change masquerading as a perf delta)
+//                            the workload counter changed at all (a behavior
+//                            change masquerading as a perf delta).  The
+//                            workload counter is payload_messages_total when
+//                            both artifacts carry it (schema 4+; overlay
+//                            retransmit/ack traffic excluded so async preset
+//                            baselines survive RTO tuning), messages_total
+//                            otherwise.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -69,12 +74,18 @@ int bench_gate(const std::string& current_path, const std::string& baseline_path
               << " trials/s (x" << ratio << (tps_ok ? ", ok" : ", REGRESSION") << ")\n";
     if (!tps_ok) ++failures;
 
-    // messages_total is machine-independent: a change means the workload
-    // itself changed, which invalidates the throughput comparison.
-    const std::uint64_t cur_msgs = cur.u64("messages_total");
-    const std::uint64_t base_msgs = base->u64("messages_total");
+    // The workload counter is machine-independent: a change means the
+    // workload itself changed, which invalidates the throughput comparison.
+    // Prefer payload_messages_total (schema 4+) — it excludes overlay
+    // retransmit/ack traffic, so async-preset baselines compare the solver
+    // workload rather than the retransmit weather.
+    const bool have_payload = cur.find("payload_messages_total") != nullptr &&
+                              base->find("payload_messages_total") != nullptr;
+    const char* counter = have_payload ? "payload_messages_total" : "messages_total";
+    const std::uint64_t cur_msgs = cur.u64(counter);
+    const std::uint64_t base_msgs = base->u64(counter);
     if (cur_msgs != base_msgs) {
-      std::cout << "bench-gate: " << name << ": messages_total " << base_msgs << " -> "
+      std::cout << "bench-gate: " << name << ": " << counter << " " << base_msgs << " -> "
                 << cur_msgs << " (WORKLOAD CHANGED — refresh the baseline)\n";
       ++failures;
     }
