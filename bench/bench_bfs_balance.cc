@@ -6,10 +6,20 @@
 // This balance is why upcast congestion divides evenly (Lemma 16).  We build
 // the tree and measure level sizes and the child-count spread.
 //
+// Instances come from the runner's scenario expansion (scenario_from_spec →
+// expand → make_trial_instance), the same path dhc_run and the bench presets
+// use — this binary declares a Scenario instead of rolling its own seeding,
+// so its graphs are exactly the trials a `--algos=upcast` sweep of the same
+// spec would run on.
+//
 // Flags: --sizes=..., --seeds=N, --c=X.
+#include <map>
+
 #include "bench_util.h"
 #include "congest/setup.h"
 #include "graph/algorithms.h"
+#include "runner/scenario.h"
+#include "runner/trial_runner.h"
 
 namespace {
 
@@ -41,52 +51,64 @@ int main(int argc, char** argv) {
                 "|L1| ~ c sqrt(n) log n, child counts within constant factors",
                 "c = " + support::Table::num(c, 1) + ", seeds = " + std::to_string(seeds));
 
+  // The experiment as a declarative scenario — the δ = 1/2 Upcast regime.
+  runner::Scenario scenario;
+  scenario.name = "exp-l11-bfs-balance";
+  scenario.algos = {runner::Algorithm::kUpcast};
+  scenario.family = runner::GraphFamily::kGnp;
+  scenario.sizes = sizes;
+  scenario.deltas = {0.5};
+  scenario.cs = {c};
+  scenario.seeds = seeds;
+  scenario.base_seed = 70;
+  const auto trials = runner::expand(scenario);
+
   support::Table table({"n", "depth", "|L1|", "c sqrt(n) ln n", "|L2|", "max children L1",
                         "mean children L1", "max/mean"});
   bool balanced = true;
-  for (const auto size : sizes) {
-    const auto n = static_cast<graph::NodeId>(size);
-    for (std::uint64_t s = 1; s <= seeds; ++s) {
-      const auto g = bench::make_instance(n, c, 0.5, s + 70);
-      if (!graph::is_connected(g)) continue;
-      congest::NetworkConfig cfg;
-      cfg.seed = s;
-      congest::Network net(g, cfg);
-      SetupOnly protocol(n);
-      net.run(protocol);
-      const auto& setup = protocol.setup;
+  std::map<graph::NodeId, bool> reported;  // one representative trial per n
+  for (const auto& tc : trials) {
+    if (reported[tc.n]) continue;
+    const auto g = runner::make_trial_instance(tc);
+    if (!graph::is_connected(g)) continue;
+    reported[tc.n] = true;
+    const auto n = tc.n;
+    congest::NetworkConfig cfg;
+    cfg.seed = tc.algo_seed;
+    congest::Network net(g, cfg);
+    SetupOnly protocol(n);
+    net.run(protocol);
+    const auto& setup = protocol.setup;
 
-      std::uint64_t l1 = 0;
-      std::uint64_t l2 = 0;
-      std::uint64_t max_children = 0;
-      std::uint64_t l1_children_total = 0;
-      std::uint32_t depth = setup.tree_depth(0);
-      for (graph::NodeId v = 0; v < n; ++v) {
-        if (setup.level(v) == 1) {
-          ++l1;
-          const auto kids = setup.children(v).size();
-          max_children = std::max<std::uint64_t>(max_children, kids);
-          l1_children_total += kids;
-        } else if (setup.level(v) == 2) {
-          ++l2;
-        }
+    std::uint64_t l1 = 0;
+    std::uint64_t l2 = 0;
+    std::uint64_t max_children = 0;
+    std::uint64_t l1_children_total = 0;
+    std::uint32_t depth = setup.tree_depth(0);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (setup.level(v) == 1) {
+        ++l1;
+        const auto kids = setup.children(v).size();
+        max_children = std::max<std::uint64_t>(max_children, kids);
+        l1_children_total += kids;
+      } else if (setup.level(v) == 2) {
+        ++l2;
       }
-      const double theory_l1 =
-          c * std::sqrt(static_cast<double>(n)) * std::log(static_cast<double>(n));
-      const double mean_children =
-          l1 > 0 ? static_cast<double>(l1_children_total) / static_cast<double>(l1) : 0.0;
-      const double spread = mean_children > 0 ? static_cast<double>(max_children) / mean_children
-                                              : 0.0;
-      // Child-count spread is the load imbalance the upcast pays for; it
-      // shrinks with n (Chernoff over larger subtrees).
-      if (n >= 4096 && spread > 8.0) balanced = false;
-      table.add_row({support::Table::num(static_cast<std::uint64_t>(n)),
-                     support::Table::num(std::uint64_t{depth}), support::Table::num(l1),
-                     support::Table::num(theory_l1, 0), support::Table::num(l2),
-                     support::Table::num(max_children), support::Table::num(mean_children, 1),
-                     support::Table::num(spread, 2)});
-      break;  // one representative seed per n keeps the table compact
     }
+    const double theory_l1 =
+        c * std::sqrt(static_cast<double>(n)) * std::log(static_cast<double>(n));
+    const double mean_children =
+        l1 > 0 ? static_cast<double>(l1_children_total) / static_cast<double>(l1) : 0.0;
+    const double spread = mean_children > 0 ? static_cast<double>(max_children) / mean_children
+                                            : 0.0;
+    // Child-count spread is the load imbalance the upcast pays for; it
+    // shrinks with n (Chernoff over larger subtrees).
+    if (n >= 4096 && spread > 8.0) balanced = false;
+    table.add_row({support::Table::num(static_cast<std::uint64_t>(n)),
+                   support::Table::num(std::uint64_t{depth}), support::Table::num(l1),
+                   support::Table::num(theory_l1, 0), support::Table::num(l2),
+                   support::Table::num(max_children), support::Table::num(mean_children, 1),
+                   support::Table::num(spread, 2)});
   }
   table.print(std::cout);
 

@@ -63,6 +63,13 @@ struct Metrics {
   /// True when the run stopped because it hit the round limit.
   bool hit_round_limit = false;
 
+  /// High-water mark of the simulator's message arenas, in bytes: the
+  /// per-round maximum of logical messages in flight (outbox log + inbox
+  /// arena + async delay wheel/far map) × sizeof(Message).  Counts logical
+  /// occupancy, never vector capacities, so it is bitwise identical across
+  /// shard counts and arena-budget settings.
+  std::uint64_t arena_bytes_peak = 0;
+
   /// Async-model fault accounting (all zero on synchronous runs).  Note the
   /// async `messages` counter counts *sends*; dropped/crash-dropped messages
   /// are sent but never arrive.

@@ -28,6 +28,17 @@ std::uint32_t env_or(const char* name, std::uint32_t fallback) {
   return static_cast<std::uint32_t>(parsed);
 }
 
+// Byte-count environment knob (DHC_ARENA_BUDGET): full u64 range, since
+// budgets are sized in hundreds of megabytes.  0/absent/garbage → fallback.
+std::uint64_t env_bytes_or(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed == 0) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
 }  // namespace
 
 std::uint32_t default_shards() { return env_or("DHC_SHARDS", 1); }
@@ -184,6 +195,8 @@ Network::Network(const graph::Graph& g, NetworkConfig cfg) : graph_(&g), cfg_(cf
   DHC_REQUIRE(cfg_.edge_capacity >= 1, "edge_capacity must be at least 1");
   shards_ = cfg_.shards != 0 ? cfg_.shards : default_shards();
   shard_grain_ = cfg_.shard_grain != 0 ? cfg_.shard_grain : env_or("DHC_SHARD_GRAIN", 32);
+  arena_budget_bytes_ =
+      cfg_.arena_budget_bytes != 0 ? cfg_.arena_budget_bytes : env_bytes_or("DHC_ARENA_BUDGET", 0);
   node_stats_ = cfg_.node_stats;
   const std::size_t n = g.n();
   bits_per_word_ = std::max<std::uint64_t>(
@@ -324,7 +337,11 @@ void Network::file_async(NodeId from, NodeId to, std::size_t edge_id, const Mess
   const std::uint64_t target = round_ + latency;
   auto& bucket =
       latency < kWheelSize ? delay_wheel_[target & kWheelMask] : far_messages_[target];
-  if (latency < kWheelSize) ++delay_armed_;
+  if (latency < kWheelSize) {
+    ++delay_armed_;
+  } else {
+    ++far_msg_armed_;
+  }
   Message& slot = bucket.emplace_back(msg);
   slot.from = from;
   slot.to = to;
@@ -424,6 +441,7 @@ void Network::mature_async_messages() {
   if (due != far_messages_.end() && due->first <= round_) {
     DHC_CHECK(due->first == round_, "far async delivery overshot its round");
     deliver(due->second);
+    far_msg_armed_ -= due->second.size();
     far_messages_.erase(due);
   }
   auto& bucket = delay_wheel_[round_ & kWheelMask];
@@ -513,9 +531,49 @@ void Network::deliver_and_build_active_set() {
   if (faults_ != nullptr && faults_->crashes_active()) filter_crashed_active();
 
   // Stable scatter: outbox send order becomes per-node arrival order.
-  if (inbox_arena_.size() < outbox_.size()) inbox_arena_.resize(outbox_.size());
+  inbox_live_ = outbox_.size();
+  if (inbox_arena_.size() < outbox_.size()) {
+    // Budgeted runs reserve exactly what this round needs; unbudgeted runs
+    // keep vector growth (amortized doubling) for raw speed.
+    if (arena_budget_bytes_ != 0) inbox_arena_.reserve(outbox_.size());
+    inbox_arena_.resize(outbox_.size());
+  }
   for (const Message& m : outbox_) inbox_arena_[inbox_cursor_[m.to]++] = m;
   outbox_.clear();
+}
+
+void Network::sample_and_trim_arenas() {
+  // Logical in-flight messages at the round epilogue: sends queued for next
+  // round (outbox log), this round's delivered inboxes, and everything
+  // parked in the async delay structures.  Logical counts only — vector
+  // capacities differ across shard counts, these numbers never do.
+  const std::uint64_t in_flight =
+      static_cast<std::uint64_t>(outbox_.size()) + inbox_live_ + delay_armed_ + far_msg_armed_;
+  const std::uint64_t bytes = in_flight * sizeof(Message);
+  if (bytes > metrics_.arena_bytes_peak) metrics_.arena_bytes_peak = bytes;
+  if (arena_budget_bytes_ == 0) return;
+
+  // Budget enforcement is a pure capacity policy: reserved-but-idle slots
+  // are released when they exceed the budget, contents are never touched.
+  const auto bytes_of = [](const std::vector<Message>& v) {
+    return v.capacity() * sizeof(Message);
+  };
+  std::size_t reserved = bytes_of(outbox_) + bytes_of(inbox_arena_);
+  for (const auto& b : delay_wheel_) reserved += bytes_of(b);
+  for (const ShardState& sh : shard_state_) reserved += bytes_of(sh.outbox);
+  if (reserved <= arena_budget_bytes_) return;
+
+  // The inbox arena was fully consumed by this round's steps; next round
+  // rebuilds it from the outbox, so its floor is the current outbox size.
+  inbox_arena_.resize(outbox_.size());
+  inbox_arena_.shrink_to_fit();
+  outbox_.shrink_to_fit();  // keeps contents, drops slack
+  for (auto& b : delay_wheel_) {
+    if (b.empty() && b.capacity() != 0) std::vector<Message>().swap(b);
+  }
+  for (ShardState& sh : shard_state_) {
+    if (sh.outbox.empty()) sh.outbox.shrink_to_fit();
+  }
 }
 
 void Network::step_active_set(Protocol& protocol) {
@@ -763,6 +821,8 @@ Metrics Network::run(Protocol& protocol) {
       deliver_and_build_active_set();
       step_active_set(protocol);
     }
+
+    sample_and_trim_arenas();
 
     for (const NodeId v : active_) {
       inbox_len_[v] = 0;

@@ -142,6 +142,16 @@ struct NetworkConfig {
   /// per-node vectors for compact accumulators + quantile summaries.
   NodeStatsMode node_stats = NodeStatsMode::kFull;
 
+  /// Byte budget for the message arenas (outbox log, inbox arena, async
+  /// delay wheel).  0 resolves DHC_ARENA_BUDGET (absent → unbounded).  When
+  /// bounded, arena growth reserves exactly what a round needs (no geometric
+  /// doubling past the budget) and capacities shrink back to the in-flight
+  /// footprint whenever the reserved bytes exceed the budget.  Purely a
+  /// capacity policy: every counter and result is bitwise identical for
+  /// every setting — Metrics::arena_bytes_peak reports logical occupancy,
+  /// which the budget never changes.
+  std::uint64_t arena_budget_bytes = 0;
+
   /// Optional fault plan (not owned; must outlive the run).  nullptr — the
   /// default — is the synchronous CONGEST model, bit-for-bit as before.
   /// Non-null switches the engine to the async delivery regime (DESIGN.md
@@ -291,6 +301,11 @@ class Network {
 
   void deliver_and_build_active_set();
   void step_active_set(Protocol& protocol);
+  /// Per-round footprint sample + budget enforcement (run() epilogue): max
+  /// logical in-flight bytes into metrics_.arena_bytes_peak, then — only
+  /// when a budget is set and exceeded by *reserved* capacity — shrink the
+  /// consumed arenas back to their in-flight footprint.
+  void sample_and_trim_arenas();
   void step_sharded(Protocol& protocol);
   void merge_shard_logs();
   void emit_round_trace(std::uint64_t sent, std::uint64_t bits, std::uint64_t wakeups,
@@ -343,6 +358,7 @@ class Network {
   std::uint64_t round_ = 0;
   Protocol* protocol_ = nullptr;
   std::uint64_t bits_per_word_ = 1;  // ⌈log₂ n⌉, hoisted out of the send path
+  std::uint64_t arena_budget_bytes_ = 0;  // resolved cfg/DHC_ARENA_BUDGET (0 = unbounded)
 
   // Message arenas (double-buffered): sends append to outbox_ (directly on
   // sequential rounds, via the shard merge on sharded ones); delivery
@@ -354,6 +370,7 @@ class Network {
   std::vector<std::uint32_t> inbox_len_;     // per node: slice length this round
   std::vector<std::uint32_t> inbox_cursor_;  // per node: scatter write cursor
   std::vector<NodeId> next_active_;          // first-touch receivers of outbox_
+  std::uint64_t inbox_live_ = 0;             // messages scattered this round (logical)
 
   std::vector<std::uint32_t> edge_load_;        // per directed edge, this round
   std::vector<std::uint64_t> edge_load_round_;  // round tag for lazy reset
@@ -379,6 +396,7 @@ class Network {
   std::vector<std::vector<Message>> delay_wheel_;  // kWheelSize buckets
   std::size_t delay_armed_ = 0;                    // messages across buckets
   std::map<std::uint64_t, std::vector<Message>> far_messages_;  // round → msgs
+  std::size_t far_msg_armed_ = 0;                  // messages across the far map
 
   // Reliable-delivery overlay (congest/reliable.h).  Engaged only when the
   // plan requests reliability=ack AND can actually lose messages (drops or

@@ -35,14 +35,14 @@ MergeEngine::MergeEngine(NodeId n, std::uint16_t base_tag, const congest::SetupC
   total_levels_ = 0;
   while ((1u << total_levels_) < num_colors_) ++total_levels_;
 
-  alive_.assign(n, 0);
+  mflags_.assign(n, 0);
   pred_.assign(n, kNoNode);
   succ_.assign(n, kNoNode);
   cycindex_.assign(n, 0);
   csize_.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) {
     if (dra->node_succeeded(v)) {
-      alive_[v] = 1;
+      mflags_[v] = kAlive;
       pred_[v] = dra->path_pred(v);
       succ_[v] = dra->path_succ(v);
       cycindex_[v] = dra->cycle_index(v);
@@ -52,15 +52,9 @@ MergeEngine::MergeEngine(NodeId n, std::uint16_t base_tag, const congest::SetupC
 
   level_seen_.assign(n, 0);
   best_cand_.assign(n, {});
-  renum_done_.assign(n, 0);
-  bridge_endpoint_.assign(n, 0);
   check_queue_.assign(n, {});
-  check_in_flight_.assign(n, 0);
   cur_w_.assign(n, kNoNode);
   cur_v_.assign(n, kNoNode);
-  reply_yes_succ_.assign(n, 0);
-  reply_yes_pred_.assign(n, 0);
-  reply_count_.assign(n, 0);
   pending_kind_.assign(n, 0);
   pending_round_.assign(n, 0);
   pending_a_.assign(n, 0);
@@ -123,16 +117,13 @@ void MergeEngine::ensure_level(Context& ctx) {
 void MergeEngine::on_discovery_start(Context& ctx) {
   const NodeId x = ctx.self();
   best_cand_[x] = {};
-  renum_done_[x] = 0;
-  bridge_endpoint_[x] = 0;
+  mflags_[x] &= kAlive;  // clear every level-local bit, keep liveness
   check_queue_[x].clear();
-  check_in_flight_[x] = 0;
-  reply_count_[x] = 0;
   pending_kind_[x] = 0;
 
   // Active side (Alg. 3 lines 6–7): odd-colored cycles look for bridges to
   // their even partner color.
-  if (alive_[x] == 0 || succ_[x] == kNoNode) return;
+  if ((mflags_[x] & kAlive) == 0 || succ_[x] == kNoNode) return;
   const std::uint32_t mine = cur_color(x);
   if (mine % 2 == 0) return;
   const Message msg = Message::make(tag(kVerify), {succ_[x]});
@@ -148,7 +139,7 @@ void MergeEngine::on_discovery_start(Context& ctx) {
 void MergeEngine::on_build_start(Context& ctx) {
   const NodeId x = ctx.self();
   const Candidate& cand = best_cand_[x];
-  if (alive_[x] == 0 || !cand.valid() || cand.v != x) return;
+  if ((mflags_[x] & kAlive) == 0 || !cand.valid() || cand.v != x) return;
   // This node's candidate won the in-partition minimum (Alg. 3 lines 11–12):
   // build the bridge.
   const auto t = cycindex_[x];
@@ -159,7 +150,7 @@ void MergeEngine::on_build_start(Context& ctx) {
   // v's own link/size updates; index t is unchanged.
   succ_[x] = cand.u;
   csize_[x] = s_i + cand.partner_size;
-  renum_done_[x] = 1;
+  mflags_[x] |= kRenumDone;
   ++bridges_built_;
   ++bridges_per_level_[levels_started_ - 1];
   // The C_i renumber flood leaves next round (same-round sends to succ(v)
@@ -182,7 +173,7 @@ void MergeEngine::improve_candidate(Context& ctx, const Candidate& cand) {
 
 void MergeEngine::apply_renum_i(Context& ctx, std::uint32_t t, std::uint32_t sj) {
   const NodeId x = ctx.self();
-  if (alive_[x] == 0) return;
+  if ((mflags_[x] & kAlive) == 0) return;
   if (cycindex_[x] > t) cycindex_[x] += sj;
   csize_[x] += sj;
   ctx.charge_compute(1);
@@ -191,7 +182,7 @@ void MergeEngine::apply_renum_i(Context& ctx, std::uint32_t t, std::uint32_t sj)
 void MergeEngine::apply_renum_j(Context& ctx, std::uint32_t t, std::uint32_t qu, bool side_succ,
                                 std::uint32_t si) {
   const NodeId x = ctx.self();
-  if (alive_[x] == 0) return;
+  if ((mflags_[x] & kAlive) == 0) return;
   const std::uint32_t sj = csize_[x];
   const std::uint32_t qx = cycindex_[x];
   // New index: t + 1 + d where d walks C_j from u in the traversal
@@ -201,7 +192,7 @@ void MergeEngine::apply_renum_j(Context& ctx, std::uint32_t t, std::uint32_t qu,
                                  : (static_cast<std::uint64_t>(qx) + sj - qu) % sj;
   cycindex_[x] = t + 1 + static_cast<std::uint32_t>(diff);
   csize_[x] = si + sj;
-  if (side_succ && bridge_endpoint_[x] == 0) {
+  if (side_succ && (mflags_[x] & kBridgeEndpoint) == 0) {
     std::swap(pred_[x], succ_[x]);
   }
   ctx.charge_compute(1);
@@ -209,17 +200,16 @@ void MergeEngine::apply_renum_j(Context& ctx, std::uint32_t t, std::uint32_t qu,
 
 void MergeEngine::process_check_queue(Context& ctx) {
   const NodeId x = ctx.self();
-  if (alive_[x] == 0 || renum_done_[x] != 0 || bridge_endpoint_[x] != 0) return;
-  if (check_in_flight_[x] != 0 || check_queue_[x].empty()) return;
+  if ((mflags_[x] & (kAlive | kRenumDone | kBridgeEndpoint)) != kAlive) return;
+  if ((mflags_[x] & kCheckInFlight) != 0 || check_queue_[x].empty()) return;
   const auto [w, v] = check_queue_[x].front();
-  check_queue_[x].erase(check_queue_[x].begin());
+  check_queue_[x].pop_front();
   ctx.charge_memory(-2);
-  check_in_flight_[x] = 1;
+  // In flight; reply bits and count start fresh for this (w, v).
+  mflags_[x] = static_cast<std::uint8_t>(
+      (mflags_[x] & ~(kReplyYesSucc | kReplyYesPred | (3u << kReplyCountShift))) | kCheckInFlight);
   cur_w_[x] = w;
   cur_v_[x] = v;
-  reply_yes_succ_[x] = 0;
-  reply_yes_pred_[x] = 0;
-  reply_count_[x] = 0;
   // Ask both cycle neighbors whether they are adjacent to w (Alg. 3 line 15).
   ctx.send(succ_[x], Message::make(tag(kCheck), {w, v}));
   ctx.send(pred_[x], Message::make(tag(kCheck), {w, v}));
@@ -250,7 +240,7 @@ void MergeEngine::step(Context& ctx) {
     const auto off = static_cast<std::uint16_t>(msg.tag - base_tag_);
     switch (off) {
       case kVerify: {
-        if (alive_[x] == 0 || succ_[x] == kNoNode) break;
+        if ((mflags_[x] & kAlive) == 0 || succ_[x] == kNoNode) break;
         const auto w = static_cast<NodeId>(msg.data[0]);
         if (strategy_ == MergeStrategy::kFullQueue) {
           check_queue_[x].emplace_back(w, msg.from);
@@ -270,15 +260,19 @@ void MergeEngine::step(Context& ctx) {
         break;
       }
       case kCheckReply: {
-        if (check_in_flight_[x] == 0) break;
+        if ((mflags_[x] & kCheckInFlight) == 0) break;
         if (static_cast<NodeId>(msg.data[0]) != cur_w_[x] ||
             static_cast<NodeId>(msg.data[1]) != cur_v_[x]) {
           break;
         }
-        reply_count_[x] += 1;
+        // Saturating 2-bit count: both checks send exactly two kChecks, so
+        // it never exceeds 2 in practice; saturation guards the packing.
+        if ((mflags_[x] >> kReplyCountShift) < 3) {
+          mflags_[x] = static_cast<std::uint8_t>(mflags_[x] + (1u << kReplyCountShift));
+        }
         if (msg.data[2] != 0) {
-          if (msg.from == succ_[x]) reply_yes_succ_[x] = 1;
-          if (msg.from == pred_[x]) reply_yes_pred_[x] = 1;
+          if (msg.from == succ_[x]) mflags_[x] |= kReplyYesSucc;
+          if (msg.from == pred_[x]) mflags_[x] |= kReplyYesPred;
         }
         break;
       }
@@ -315,12 +309,12 @@ void MergeEngine::step(Context& ctx) {
   if (incoming.valid()) improve_candidate(ctx, incoming);
 
   // Completed adjacency checks produce a confirmed bridge for v.
-  if (check_in_flight_[x] != 0 && reply_count_[x] >= 2) {
-    check_in_flight_[x] = 0;
+  if ((mflags_[x] & kCheckInFlight) != 0 && (mflags_[x] >> kReplyCountShift) >= 2) {
+    mflags_[x] &= static_cast<std::uint8_t>(~kCheckInFlight);
     NodeId uprime = kNoNode;
-    if (reply_yes_succ_[x] != 0) {
+    if ((mflags_[x] & kReplyYesSucc) != 0) {
       uprime = succ_[x];  // paper line 16 prefers succ(v)
-    } else if (reply_yes_pred_[x] != 0) {
+    } else if ((mflags_[x] & kReplyYesPred) != 0) {
       uprime = pred_[x];
     }
     if (uprime != kNoNode) {
@@ -344,7 +338,7 @@ void MergeEngine::step(Context& ctx) {
   }
 
   process_check_queue(ctx);
-  if (!check_queue_[x].empty() && check_in_flight_[x] == 0) ctx.wake_in(1);
+  if (!check_queue_[x].empty() && (mflags_[x] & kCheckInFlight) == 0) ctx.wake_in(1);
 }
 
 void MergeEngine::handle_message(Context& ctx, const Message& msg) {
@@ -352,7 +346,7 @@ void MergeEngine::handle_message(Context& ctx, const Message& msg) {
   const auto off = static_cast<std::uint16_t>(msg.tag - base_tag_);
   switch (off) {
     case kBuild: {
-      if (alive_[x] == 0 || bridge_endpoint_[x] != 0 || renum_done_[x] != 0) break;
+      if ((mflags_[x] & (kAlive | kBridgeEndpoint | kRenumDone)) != kAlive) break;
       const auto t = static_cast<std::uint32_t>(msg.data[0]);
       const auto s_i = static_cast<std::uint32_t>(msg.data[1]);
       const auto w = static_cast<NodeId>(msg.data[2]);
@@ -368,8 +362,7 @@ void MergeEngine::handle_message(Context& ctx, const Message& msg) {
       succ_[x] = other;
       cycindex_[x] = t + 1;
       csize_[x] = s_i + s_j;
-      bridge_endpoint_[x] = 1;
-      renum_done_[x] = 1;
+      mflags_[x] |= kBridgeEndpoint | kRenumDone;
       ctx.send(uprime, Message::make(tag(kBuildPartner), {w}));
       // C_j's renumber flood goes out next round (this round's edge to u′
       // carries kBuildPartner).
@@ -383,18 +376,18 @@ void MergeEngine::handle_message(Context& ctx, const Message& msg) {
       break;
     }
     case kBuildPartner: {
-      if (alive_[x] == 0 || bridge_endpoint_[x] != 0) break;
+      if ((mflags_[x] & (kAlive | kBridgeEndpoint)) != kAlive) break;
       const auto w = static_cast<NodeId>(msg.data[0]);
       // u′'s successor becomes succ(v) (= w); its predecessor is the
       // remaining old neighbor (the cut edge (u, u′) disappears).
       const NodeId other = (pred_[x] == msg.from) ? succ_[x] : pred_[x];
       pred_[x] = other;
       succ_[x] = w;
-      bridge_endpoint_[x] = 1;
+      mflags_[x] |= kBridgeEndpoint;
       break;
     }
     case kBuildCut: {
-      if (alive_[x] == 0) break;
+      if ((mflags_[x] & kAlive) == 0) break;
       const auto uprime = static_cast<NodeId>(msg.data[0]);
       // succ(v)'s predecessor becomes u′ (the edge (v, succ v) is cut).
       if (pred_[x] == msg.from) {
@@ -405,16 +398,16 @@ void MergeEngine::handle_message(Context& ctx, const Message& msg) {
       break;
     }
     case kRenumI: {
-      if (renum_done_[x] != 0) break;
-      renum_done_[x] = 1;
+      if ((mflags_[x] & kRenumDone) != 0) break;
+      mflags_[x] |= kRenumDone;
       flood_color(ctx, msg, msg.from);
       apply_renum_i(ctx, static_cast<std::uint32_t>(msg.data[0]),
                     static_cast<std::uint32_t>(msg.data[1]));
       break;
     }
     case kRenumJ: {
-      if (renum_done_[x] != 0) break;
-      renum_done_[x] = 1;
+      if ((mflags_[x] & kRenumDone) != 0) break;
+      mflags_[x] |= kRenumDone;
       flood_color(ctx, msg, msg.from);
       apply_renum_j(ctx, static_cast<std::uint32_t>(msg.data[0]),
                     static_cast<std::uint32_t>(msg.data[1]), msg.data[2] != 0,

@@ -38,6 +38,7 @@
 #include "core/dra.h"
 #include "core/result.h"
 #include "support/atomic_stats.h"
+#include "support/flat_queue.h"
 #include "graph/graph.h"
 
 namespace dhc::core {
@@ -160,8 +161,19 @@ class MergeEngine {
   std::uint32_t levels_started_ = 0;
   SubPhase sub_phase_ = SubPhase::kDiscovery;
 
+  // Per-node booleans plus the 2-bit check-reply count, packed into one
+  // byte per node (was seven u8 vectors).  Distinct nodes touch distinct
+  // bytes, so parallel shards stepping different nodes never race.
+  static constexpr std::uint8_t kAlive = 1u << 0;
+  static constexpr std::uint8_t kRenumDone = 1u << 1;
+  static constexpr std::uint8_t kBridgeEndpoint = 1u << 2;
+  static constexpr std::uint8_t kCheckInFlight = 1u << 3;
+  static constexpr std::uint8_t kReplyYesSucc = 1u << 4;
+  static constexpr std::uint8_t kReplyYesPred = 1u << 5;
+  static constexpr unsigned kReplyCountShift = 6;  // bits 6–7: replies seen (0..2)
+  std::vector<std::uint8_t> mflags_;
+
   // Cycle state (seeded from Phase 1, rewritten by merges).
-  std::vector<std::uint8_t> alive_;
   std::vector<NodeId> pred_;
   std::vector<NodeId> succ_;
   std::vector<std::uint32_t> cycindex_;
@@ -170,15 +182,11 @@ class MergeEngine {
   // Level-local state.
   std::vector<std::uint32_t> level_seen_;   // (level*2 + subphase) marker
   std::vector<Candidate> best_cand_;
-  std::vector<std::uint8_t> renum_done_;
-  std::vector<std::uint8_t> bridge_endpoint_;
-  std::vector<std::vector<std::pair<NodeId, NodeId>>> check_queue_;  // (w, v)
-  std::vector<std::uint8_t> check_in_flight_;
+  // Pending (w, v) adjacency checks; FlatQueue keeps FIFO order without
+  // the O(queue) erase-from-front of the old inner vectors.
+  std::vector<support::FlatQueue<std::pair<NodeId, NodeId>>> check_queue_;
   std::vector<NodeId> cur_w_;
   std::vector<NodeId> cur_v_;
-  std::vector<std::uint8_t> reply_yes_succ_;
-  std::vector<std::uint8_t> reply_yes_pred_;
-  std::vector<std::uint8_t> reply_count_;
   // Deferred flood emissions: kind 0 = none, 1 = kRenumI, 2 = kRenumJ.
   std::vector<std::uint8_t> pending_kind_;
   std::vector<std::uint64_t> pending_round_;

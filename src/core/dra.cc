@@ -15,15 +15,12 @@ DraComponent::DraComponent(NodeId n, std::uint16_t base_tag, const congest::Setu
                            DraConfig cfg)
     : n_(n), base_tag_(base_tag), setup_(setup), cfg_(cfg) {
   DHC_REQUIRE(setup != nullptr, "DraComponent needs a SetupComponent");
-  inited_.assign(n, 0);
-  unused_.assign(n, {});
+  flags_.assign(n, 0);
+  unused_len_.assign(n, 0);
   cycindex_.assign(n, 0);
   pred_.assign(n, kNoNode);
   succ_.assign(n, kNoNode);
   pending_target_.assign(n, kNoNode);
-  is_head_.assign(n, 0);
-  done_.assign(n, 0);
-  success_.assign(n, 0);
   my_steps_.assign(n, 0);
   last_seq_.assign(n, 0);
   attempt_.assign(n, 0);
@@ -32,6 +29,22 @@ DraComponent::DraComponent(NodeId n, std::uint16_t base_tag, const congest::Setu
 
 void DraComponent::start(Network& net) {
   DHC_CHECK(setup_->done(), "DraComponent started before setup finished");
+  // Size the unused-edge slab exactly: one prefix-sum pass over the
+  // same-partition adjacency, then a single arena allocation replaces the
+  // former n per-node vectors.  start() runs serially (before any sharded
+  // step), and each node later fills only its own disjoint slice.
+  const graph::Graph& g = net.graph();
+  DHC_CHECK(g.adjacency().size() < std::uint64_t{1} << 32,
+            "unused-edge slab offsets are u32; graph too large");
+  slab_base_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (NodeId v = 0; v < n_; ++v) {
+    std::uint32_t cnt = 0;
+    for (const NodeId w : g.neighbors(v)) {
+      if (setup_->same_group(v, w)) ++cnt;
+    }
+    slab_base_[v + 1] = slab_base_[v] + cnt;
+  }
+  unused_slab_ = arena_.alloc_array<NodeId>(slab_base_[n_]);
   for (NodeId v = 0; v < n_; ++v) {
     if (setup_->is_leader(v)) net.wake(v);
   }
@@ -46,24 +59,34 @@ std::uint64_t DraComponent::step_budget(NodeId v) const {
   return static_cast<std::uint64_t>(cfg_.step_multiplier * s * std::log(s)) + 16;
 }
 
+std::uint32_t DraComponent::refill_unused(Context& ctx) {
+  const NodeId v = ctx.self();
+  NodeId* slot = unused_slab_.data() + slab_base_[v];
+  std::uint32_t len = 0;
+  for (const NodeId w : ctx.neighbors()) {
+    if (setup_->same_group(v, w)) slot[len++] = w;
+  }
+  unused_len_[v] = len;
+  return len;
+}
+
 void DraComponent::ensure_init(Context& ctx) {
   const NodeId v = ctx.self();
-  if (inited_[v] != 0) return;
-  inited_[v] = 1;
-  auto& list = unused_[v];
-  for (const NodeId w : ctx.neighbors()) {
-    if (setup_->same_group(v, w)) list.push_back(w);
-  }
+  if ((flags_[v] & kInited) != 0) return;
+  flags_[v] |= kInited;
   // Paper Alg. 1 line 3: the per-node unused edge list, one word per entry.
-  ctx.charge_memory(static_cast<std::int64_t>(list.size()));
+  ctx.charge_memory(static_cast<std::int64_t>(refill_unused(ctx)));
 }
 
 void DraComponent::remove_unused(NodeId v, NodeId w) {
-  auto& list = unused_[v];
-  const auto it = std::find(list.begin(), list.end(), w);
-  if (it != list.end()) {
-    *it = list.back();
-    list.pop_back();
+  NodeId* list = unused_slab_.data() + slab_base_[v];
+  std::uint32_t& len = unused_len_[v];
+  for (std::uint32_t i = 0; i < len; ++i) {
+    if (list[i] == w) {
+      list[i] = list[len - 1];
+      --len;
+      return;
+    }
   }
 }
 
@@ -82,9 +105,9 @@ void DraComponent::broadcast(Context& ctx, const Message& msg, NodeId exclude) {
 
 void DraComponent::finish_node(Context& ctx, bool succeeded) {
   const NodeId v = ctx.self();
-  if (done_[v] != 0) return;
-  done_[v] = 1;
-  success_[v] = succeeded ? 1 : 0;
+  if ((flags_[v] & kDone) != 0) return;
+  flags_[v] |= kDone;
+  if (succeeded) flags_[v] |= kSuccess;
   ++done_count_;
   if (setup_->is_leader(v)) {
     if (succeeded) {
@@ -103,7 +126,8 @@ void DraComponent::step(Context& ctx) {
 
   // Leader bootstrap: the partition leader is the initial head (Alg. 1
   // line 5: "only one v becomes head, v.cycindex ← 1").
-  if (cycindex_[v] == 0 && done_[v] == 0 && setup_->is_leader(v) && ctx.inbox().empty()) {
+  if (cycindex_[v] == 0 && (flags_[v] & kDone) == 0 && setup_->is_leader(v) &&
+      ctx.inbox().empty()) {
     if (setup_->component_size(v) < 3) {
       // A cycle needs at least 3 nodes; tiny or fragmented partitions abort.
       my_steps_[v] = 0;
@@ -112,7 +136,7 @@ void DraComponent::step(Context& ctx) {
       return;
     }
     cycindex_[v] = 1;
-    is_head_[v] = 1;
+    flags_[v] |= kIsHead;
     act_as_head(ctx);
     return;
   }
@@ -122,19 +146,19 @@ void DraComponent::step(Context& ctx) {
       on_progress(ctx, msg);
     } else if (msg.tag == tag_rotation()) {
       const auto seq = static_cast<std::uint64_t>(msg.data[3]);
-      if (done_[v] != 0 || seq <= last_seq_[v]) continue;
+      if ((flags_[v] & kDone) != 0 || seq <= last_seq_[v]) continue;
       last_seq_[v] = seq;
       broadcast(ctx, msg, msg.from);
       apply_rotation(ctx, msg);
     } else if (msg.tag == tag_success() || msg.tag == tag_abort()) {
       const auto seq = static_cast<std::uint64_t>(msg.data[0]);
-      if (done_[v] != 0 || seq <= last_seq_[v]) continue;
+      if ((flags_[v] & kDone) != 0 || seq <= last_seq_[v]) continue;
       last_seq_[v] = seq;
       broadcast(ctx, msg, msg.from);
       finish_node(ctx, msg.tag == tag_success());
     } else if (msg.tag == tag_restart()) {
       const auto seq = static_cast<std::uint64_t>(msg.data[0]);
-      if (done_[v] != 0 || seq <= last_seq_[v]) continue;
+      if ((flags_[v] & kDone) != 0 || seq <= last_seq_[v]) continue;
       last_seq_[v] = seq;
       broadcast(ctx, msg, msg.from);
       reset_for_attempt(ctx);
@@ -142,7 +166,7 @@ void DraComponent::step(Context& ctx) {
   }
 
   // A head woken by its post-rotation settle timer acts now.
-  if (is_head_[v] != 0 && done_[v] == 0 && ctx.inbox().empty() && cycindex_[v] != 0 &&
+  if ((flags_[v] & (kIsHead | kDone)) == kIsHead && ctx.inbox().empty() && cycindex_[v] != 0 &&
       succ_[v] == kNoNode) {
     act_as_head(ctx);
   }
@@ -155,7 +179,7 @@ void DraComponent::act_as_head(Context& ctx) {
     abort_or_restart(ctx);  // event E1: step budget exhausted
     return;
   }
-  auto& list = unused_[v];
+  std::span<NodeId> list = unused_list(v);
   if (list.empty()) {
     ++starved_aborts_;
     abort_or_restart(ctx);  // event E2: head starved
@@ -163,8 +187,8 @@ void DraComponent::act_as_head(Context& ctx) {
   }
   const std::size_t idx = static_cast<std::size_t>(ctx.rng().below(list.size()));
   const NodeId target = list[idx];
-  list[idx] = list.back();
-  list.pop_back();
+  list[idx] = list[list.size() - 1];
+  --unused_len_[v];
   ctx.charge_memory(-1);
   ctx.charge_compute(1);
 
@@ -204,13 +228,9 @@ void DraComponent::reset_for_attempt(Context& ctx) {
   pred_[v] = kNoNode;
   succ_[v] = kNoNode;
   pending_target_[v] = kNoNode;
-  is_head_[v] = 0;
-  const auto old_size = static_cast<std::int64_t>(unused_[v].size());
-  unused_[v].clear();
-  for (const NodeId w : ctx.neighbors()) {
-    if (setup_->same_group(v, w)) unused_[v].push_back(w);
-  }
-  ctx.charge_memory(static_cast<std::int64_t>(unused_[v].size()) - old_size);
+  flags_[v] &= static_cast<std::uint8_t>(~kIsHead);
+  const auto old_size = static_cast<std::int64_t>(unused_len_[v]);
+  ctx.charge_memory(static_cast<std::int64_t>(refill_unused(ctx)) - old_size);
   if (setup_->is_leader(v)) ctx.wake_in(settle_delay(v));
 }
 
@@ -224,7 +244,7 @@ void DraComponent::abort_group(Context& ctx) {
 
 void DraComponent::on_progress(Context& ctx, const Message& msg) {
   const NodeId v = ctx.self();
-  if (done_[v] != 0) return;
+  if ((flags_[v] & kDone) != 0) return;
   const auto pos = static_cast<std::uint32_t>(msg.data[0]);
   const auto steps = static_cast<std::uint64_t>(msg.data[1]);
   remove_unused(v, msg.from);  // Alg. 1 line 13
@@ -237,7 +257,7 @@ void DraComponent::on_progress(Context& ctx, const Message& msg) {
     cycindex_[v] = pos + 1;
     pred_[v] = msg.from;
     succ_[v] = kNoNode;
-    is_head_[v] = 1;
+    flags_[v] |= kIsHead;
     ++extensions_;
     act_as_head(ctx);
     return;
@@ -283,11 +303,11 @@ void DraComponent::apply_rotation(Context& ctx, const Message& msg) {
   if (cycindex_[v] == h) {
     // New head (Alg. 1 lines 21–22): wait out the broadcast, then act.
     succ_[v] = kNoNode;
-    is_head_[v] = 1;
+    flags_[v] |= kIsHead;
     my_steps_[v] = seq;
     ctx.wake_in(settle_delay(v));
   } else {
-    is_head_[v] = 0;
+    flags_[v] &= static_cast<std::uint8_t>(~kIsHead);
   }
 }
 

@@ -23,12 +23,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "congest/network.h"
 #include "congest/setup.h"
 #include "core/result.h"
 #include "graph/graph.h"
+#include "support/arena.h"
 #include "support/atomic_stats.h"
 
 namespace dhc::core {
@@ -98,8 +100,8 @@ class DraComponent {
   /// True when all partitions succeeded.
   bool all_succeeded() const { return all_done() && aborted_groups_ == 0; }
 
-  bool node_done(NodeId v) const { return done_[v] != 0; }
-  bool node_succeeded(NodeId v) const { return success_[v] != 0; }
+  bool node_done(NodeId v) const { return (flags_[v] & kDone) != 0; }
+  bool node_succeeded(NodeId v) const { return (flags_[v] & kSuccess) != 0; }
 
   /// Path/cycle state (valid for nodes of succeeded partitions).
   std::uint32_t cycle_index(NodeId v) const { return cycindex_[v]; }
@@ -129,6 +131,15 @@ class DraComponent {
   std::uint16_t tag_abort() const { return static_cast<std::uint16_t>(base_tag_ + 3); }
   std::uint16_t tag_restart() const { return static_cast<std::uint16_t>(base_tag_ + 4); }
 
+  /// Node `v`'s live slice of the unused-edge slab (first unused_len_[v]
+  /// entries of its CSR row).
+  std::span<NodeId> unused_list(NodeId v) {
+    return unused_slab_.subspan(slab_base_[v], unused_len_[v]);
+  }
+  /// Refills `v`'s slice with its same-partition neighbors; returns the new
+  /// length.  Slices are disjoint per node, so parallel shards never alias.
+  std::uint32_t refill_unused(congest::Context& ctx);
+
   void ensure_init(congest::Context& ctx);
   void act_as_head(congest::Context& ctx);
   void abort_or_restart(congest::Context& ctx);
@@ -147,15 +158,28 @@ class DraComponent {
   const congest::SetupComponent* setup_;
   DraConfig cfg_;
 
-  std::vector<std::uint8_t> inited_;
-  std::vector<std::vector<NodeId>> unused_;
+  // Per-node booleans, bit-packed into one byte per node (was four u8
+  // vectors).  Distinct nodes touch distinct bytes, so parallel shards
+  // stepping different nodes never race.
+  static constexpr std::uint8_t kInited = 1;
+  static constexpr std::uint8_t kIsHead = 2;
+  static constexpr std::uint8_t kDone = 4;
+  static constexpr std::uint8_t kSuccess = 8;
+  std::vector<std::uint8_t> flags_;
+
+  // The per-node unused-edge lists (Alg. 1 line 3), flattened: one slab
+  // carved from the arena in start(), sliced by exact same-partition degree
+  // prefix sums.  Replaces n per-node std::vectors (24 B header + a heap
+  // block each) with 4 B/entry + 8 B/node of offsets.
+  support::Arena arena_;
+  std::span<NodeId> unused_slab_;
+  std::vector<std::uint32_t> slab_base_;  // n_+1 prefix sums into unused_slab_
+  std::vector<std::uint32_t> unused_len_;
+
   std::vector<std::uint32_t> cycindex_;
   std::vector<NodeId> pred_;
   std::vector<NodeId> succ_;
   std::vector<NodeId> pending_target_;
-  std::vector<std::uint8_t> is_head_;
-  std::vector<std::uint8_t> done_;
-  std::vector<std::uint8_t> success_;
   std::vector<std::uint64_t> my_steps_;
   std::vector<std::uint64_t> last_seq_;
   std::vector<std::uint32_t> attempt_;

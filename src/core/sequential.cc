@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "core/path_treap.h"
 #include "support/require.h"
@@ -40,11 +39,21 @@ RotationResult rotation_hamiltonian_cycle(const Graph& g, support::Rng& rng,
     const auto nb = g.neighbors(v);
     unused[v].assign(nb.begin(), nb.end());
   }
-  std::unordered_set<std::uint64_t> used;
-  used.reserve(g.m() / 4 + 16);
-  const auto edge_key = [](NodeId a, NodeId b) {
-    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  // Streaming used-edge filter: one bit per directed CSR edge id
+  // (row_offsets[a] + rank of b in a's row).  Both directions are set when an
+  // edge is consumed, so either endpoint's lazy skip sees it — the same
+  // membership semantics as an unordered_set of edge keys at a fraction of
+  // the bytes and with no rehash jitter.
+  const auto row_off = g.row_offsets();
+  const std::size_t total_directed = row_off.empty() ? 0 : row_off[n];
+  std::vector<std::uint64_t> used((total_directed + 63) / 64, 0);
+  const auto edge_id = [&](NodeId a, NodeId b) {
+    const std::size_t rank = g.neighbor_rank(a, b);
+    DHC_CHECK(rank != Graph::kNoRank, "unused-list entry is not an edge");
+    return row_off[a] + rank;
   };
+  const auto is_used = [&](std::size_t id) { return (used[id >> 6] >> (id & 63)) & 1u; };
+  const auto mark_used = [&](std::size_t id) { used[id >> 6] |= std::uint64_t{1} << (id & 63); };
 
   PathTreap path(n, rng.next_u64());
   NodeId head = static_cast<NodeId>(rng.below(n));  // random v1 (paper §II-A2)
@@ -60,7 +69,7 @@ RotationResult rotation_hamiltonian_cycle(const Graph& g, support::Rng& rng,
       const NodeId candidate = list[idx];
       list[idx] = list.back();
       list.pop_back();
-      if (!used.contains(edge_key(head, candidate))) {
+      if (!is_used(edge_id(head, candidate))) {
         target = candidate;
         break;
       }
@@ -69,7 +78,8 @@ RotationResult rotation_hamiltonian_cycle(const Graph& g, support::Rng& rng,
       result.failure_reason = "head ran out of unused edges (event E2)";
       return result;
     }
-    used.insert(edge_key(head, target));
+    mark_used(edge_id(head, target));
+    mark_used(edge_id(target, head));
     result.stats.steps += 1;
 
     if (!path.contains(target)) {

@@ -1,0 +1,130 @@
+#include "core/sequential_linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/path_treap.h"
+#include "support/require.h"
+
+namespace dhc::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+// After this many uniform draws that all land on used edges, switch to the
+// exact two-pass scan.  16 keeps the expected extra scan probability at
+// (used fraction)^16 — negligible until a row is almost fully consumed,
+// which is exactly when the O(deg) scan is about to report starvation
+// anyway.
+constexpr int kMaxResamples = 16;
+
+}  // namespace
+
+CreResult cre_hamiltonian_cycle(const Graph& g, support::Rng& rng, const CreConfig& cfg) {
+  CreResult result;
+  const NodeId n = g.n();
+  if (n < 3) {
+    result.failure_reason = "graph has fewer than 3 nodes";
+    return result;
+  }
+
+  const std::uint64_t max_steps =
+      cfg.max_steps_override != 0
+          ? cfg.max_steps_override
+          : static_cast<std::uint64_t>(cfg.step_multiplier * static_cast<double>(n) *
+                                       std::log(static_cast<double>(n))) +
+                16;
+
+  // Streaming used-edge filter: one bit per directed CSR edge id
+  // (row_offsets[u] + rank of v in u's row).  Consuming an edge sets both
+  // directions, so either endpoint's draw skips it — the same semantics as
+  // the rotation solver's unordered_set at 1/384th the bytes per edge.
+  const auto row_off = g.row_offsets();
+  const std::size_t total_directed = row_off.empty() ? 0 : row_off[n];
+  std::vector<std::uint64_t> used((total_directed + 63) / 64, 0);
+  const auto is_used = [&](std::size_t id) {
+    return (used[id >> 6] >> (id & 63)) & 1u;
+  };
+  const auto mark_used = [&](NodeId a, std::size_t id_ab, NodeId b) {
+    used[id_ab >> 6] |= std::uint64_t{1} << (id_ab & 63);
+    const std::size_t rank_ba = g.neighbor_rank(b, a);
+    DHC_CHECK(rank_ba != Graph::kNoRank, "CSR adjacency not symmetric");
+    const std::size_t id_ba = row_off[b] + rank_ba;
+    used[id_ba >> 6] |= std::uint64_t{1} << (id_ba & 63);
+  };
+
+  PathTreap path(n, rng.next_u64());
+  NodeId head = static_cast<NodeId>(rng.below(n));  // random v1 (paper §II-A2)
+  path.append(head);
+
+  while (result.stats.steps < max_steps) {
+    // Uniform draw among the head's unused incident edges: bounded rejection
+    // sampling over the CSR row, then an exact two-pass scan.  Both stages
+    // are uniform over the unused entries, so the mixture is too.
+    const auto row = g.neighbors(head);
+    const std::size_t base = row_off[head];
+    const std::size_t deg = row.size();
+    NodeId target = static_cast<NodeId>(-1);
+    std::size_t target_rank = 0;
+    for (int t = 0; t < kMaxResamples && deg > 0; ++t) {
+      const std::size_t r = static_cast<std::size_t>(rng.below(deg));
+      if (!is_used(base + r)) {
+        target = row[r];
+        target_rank = r;
+        break;
+      }
+      result.stats.resamples += 1;
+    }
+    if (target == static_cast<NodeId>(-1)) {
+      std::size_t unused_count = 0;
+      for (std::size_t i = 0; i < deg; ++i) {
+        if (!is_used(base + i)) ++unused_count;
+      }
+      if (unused_count == 0) {
+        result.failure_reason = "head ran out of unused edges (event E2)";
+        return result;
+      }
+      std::size_t pick = static_cast<std::size_t>(rng.below(unused_count));
+      for (std::size_t i = 0; i < deg; ++i) {
+        if (is_used(base + i)) continue;
+        if (pick == 0) {
+          target = row[i];
+          target_rank = i;
+          break;
+        }
+        --pick;
+      }
+    }
+    mark_used(head, base + target_rank, target);
+    result.stats.steps += 1;
+
+    if (!path.contains(target)) {
+      // Extension: the path grows by one node; the new node becomes head.
+      path.append(target);
+      head = target;
+      result.stats.extensions += 1;
+      continue;
+    }
+
+    const std::uint32_t h = path.size();
+    const std::uint32_t j = path.position(target);
+    if (j == 1 && h == n) {
+      // pos = |V| and the head holds an edge to v1: the cycle closes.
+      result.success = true;
+      result.cycle.order = path.to_vector();
+      return result;
+    }
+    // Rotation (paper Fig. 2): v1..vj vj+1..vh  →  v1..vj vh..vj+1.
+    path.rotate_suffix(j);
+    head = path.at(h);
+    result.stats.rotations += 1;
+  }
+
+  result.failure_reason = "step budget exhausted (event E1)";
+  return result;
+}
+
+}  // namespace dhc::core

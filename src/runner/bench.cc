@@ -1,5 +1,6 @@
 #include "runner/bench.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -92,7 +93,7 @@ std::vector<BenchPreset> make_presets() {
   {
     // Memory-probe pair: one node-count-dominated cell run twice, once per
     // node-stats mode.  The only difference between the two presets is the
-    // accounting mode, so the peak_rss_kb delta in the artifact is the
+    // accounting mode, so the rss_peak_kb delta in the artifact is the
     // measured cost of full per-node accounting (40 B/node plus arena slack)
     // over the streaming accumulators (16 B/node).  The instance is a huge
     // *sub-connectivity* G(n, m) (mean degree ~1): Turau floods its sparse
@@ -161,6 +162,28 @@ std::vector<BenchPreset> make_presets() {
     p.scenario.max_rounds = 200000;
     p.scenario.seeds = 2;
     p.scenario.base_seed = 805;
+    presets.push_back(std::move(p));
+  }
+  {
+    // The tentpole acceptance probe: one verified G(n, p) trial at n = 2^20
+    // solved by the linear-space cre oracle.  The preset exists to record —
+    // as BENCH_mem_flatten.json — that a million-node verified trial fits in
+    // well under 4 GB after the flattening pass; its rss_peak_kb is the
+    // headline number the bench gate then pins.
+    BenchPreset p;
+    p.name = "mem-flatten";
+    p.description = "cre oracle solves + verifies one G(n,p) trial at n=2^20 (RSS probe)";
+    p.scenario.name = "bench-mem-flatten";
+    p.scenario.algos = {Algorithm::kCre};
+    p.scenario.sizes = {1048576};
+    p.scenario.deltas = {1.0};
+    // c = 6 is the same supercritical density the differential tests pin:
+    // the used-edge discipline consumes degree as it walks, so densities
+    // near the Hamiltonicity threshold strand the head (event E2) even on
+    // instances that do contain a cycle.
+    p.scenario.cs = {6.0};
+    p.scenario.seeds = 1;
+    p.scenario.base_seed = 806;
     presets.push_back(std::move(p));
   }
   {
@@ -269,6 +292,11 @@ BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions
     for (const auto& [key, value] : r.stats) {
       if (key.rfind("phase_", 0) == 0) m.phase_rounds_mean[key] += value;
     }
+    const auto arena = r.stats.find("arena_bytes_peak");
+    if (arena != r.stats.end()) {
+      m.arena_bytes_peak =
+          std::max(m.arena_bytes_peak, static_cast<std::uint64_t>(arena->second));
+    }
   }
   if (!results.empty()) {
     for (auto& [key, sum] : m.phase_rounds_mean) sum /= static_cast<double>(results.size());
@@ -277,13 +305,13 @@ BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions
     m.trials_per_sec = static_cast<double>(m.trials) / m.wall_seconds;
     m.messages_per_sec = static_cast<double>(m.messages_total) / m.wall_seconds;
   }
-  m.peak_rss_kb = per_preset_rss ? read_rss_hwm_kb() : current_peak_rss_kb();
+  m.rss_peak_kb = per_preset_rss ? read_rss_hwm_kb() : current_peak_rss_kb();
   return m;
 }
 
 void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& measurements,
                       unsigned threads, std::uint32_t shards) {
-  os << "{\n  \"bench\": \"congest\",\n  \"schema\": 4,\n  \"threads\": " << threads
+  os << "{\n  \"bench\": \"congest\",\n  \"schema\": 5,\n  \"threads\": " << threads
      << ",\n  \"shards\": " << shards << ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < measurements.size(); ++i) {
     const auto& m = measurements[i];
@@ -294,7 +322,8 @@ void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& mea
        << ", \"messages_total\": " << m.messages_total
        << ", \"payload_messages_total\": " << m.payload_messages_total
        << ", \"messages_per_sec\": " << m.messages_per_sec
-       << ", \"peak_rss_kb\": " << m.peak_rss_kb
+       << ", \"rss_peak_kb\": " << m.rss_peak_kb
+       << ", \"arena_bytes_peak\": " << m.arena_bytes_peak
        << ", \"node_stats\": \"" << m.node_stats << "\", \"phases\": {";
     bool first = true;
     for (const auto& [key, value] : m.phase_rounds_mean) {

@@ -64,7 +64,11 @@ struct BenchMeasurement {
   /// Peak RSS of this preset alone (VmHWM, reset via /proc/self/clear_refs
   /// before the preset runs).  Falls back to the monotone getrusage maximum
   /// on systems without the proc interface.
-  long peak_rss_kb = 0;
+  long rss_peak_kb = 0;
+  /// Max over trials of the logical in-flight message high-water mark
+  /// (Metrics::arena_bytes_peak) — 0 for presets without a CONGEST network
+  /// (sequential / cre).  Deterministic, unlike rss_peak_kb.
+  std::uint64_t arena_bytes_peak = 0;
   /// The preset's per-node accounting mode (from its scenario) — the knob
   /// the mem-probe preset pair varies, so the artifact is self-describing.
   std::string node_stats = "full";
@@ -77,11 +81,13 @@ struct BenchMeasurement {
 /// expansion and artifact writing are excluded).
 BenchMeasurement run_bench_preset(const BenchPreset& preset, const RunnerOptions& opt);
 
-/// BENCH_congest.json: {"bench": "congest", "schema": 4, "threads": T,
+/// BENCH_congest.json: {"bench": "congest", "schema": 5, "threads": T,
 /// "shards": S, "scenarios": [...]} where threads/shards are the requested
 /// options (shards 0 = auto) and every scenario records the resolved
 /// per-preset split, its node_stats mode, and a "phases" map of mean rounds
-/// per phase label.  Field order is fixed so runs diff cleanly.
+/// per phase label.  Field order is fixed so runs diff cleanly.  Schema 5
+/// renames peak_rss_kb to rss_peak_kb (matching the per-trial stat) and adds
+/// the per-preset arena_bytes_peak.
 void write_bench_json(std::ostream& os, const std::vector<BenchMeasurement>& measurements,
                       unsigned threads, std::uint32_t shards);
 

@@ -22,6 +22,7 @@ std::string to_string(Algorithm a) {
     case Algorithm::kCollectAll: return "collect-all";
     case Algorithm::kDhc2KMachine: return "dhc2-kmachine";
     case Algorithm::kTurau: return "turau";
+    case Algorithm::kCre: return "cre";
   }
   return "?";
 }
@@ -58,9 +59,10 @@ Algorithm parse_algorithm(const std::string& s) {
   if (s == "collect-all" || s == "collectall") return Algorithm::kCollectAll;
   if (s == "dhc2-kmachine" || s == "kmachine") return Algorithm::kDhc2KMachine;
   if (s == "turau") return Algorithm::kTurau;
+  if (s == "cre") return Algorithm::kCre;
   throw std::invalid_argument("unknown algorithm '" + s +
                               "' (expected sequential|dra|dhc1|dhc2|upcast|collect-all|"
-                              "dhc2-kmachine|turau)");
+                              "dhc2-kmachine|turau|cre)");
 }
 
 ExecutionModel parse_execution_model(const std::string& s) {
@@ -111,8 +113,8 @@ void Scenario::validate() const {
   }
   if (model == ExecutionModel::kKMachine) {
     for (const Algorithm a : algos) {
-      DHC_REQUIRE(a != Algorithm::kSequential,
-                  "the sequential baseline has no CONGEST execution to price "
+      DHC_REQUIRE(a != Algorithm::kSequential && a != Algorithm::kCre,
+                  "the sequential baselines have no CONGEST execution to price "
                   "in the k-machine model");
     }
   }
@@ -129,8 +131,8 @@ void Scenario::validate() const {
   }
   if (model == ExecutionModel::kAsync) {
     for (const Algorithm a : algos) {
-      DHC_REQUIRE(a != Algorithm::kSequential,
-                  "the sequential baseline has no CONGEST execution to run asynchronously");
+      DHC_REQUIRE(a != Algorithm::kSequential && a != Algorithm::kCre,
+                  "the sequential baselines have no CONGEST execution to run asynchronously");
       DHC_REQUIRE(a != Algorithm::kDhc2KMachine,
                   "the legacy dhc2-kmachine algorithm forces the k-machine backend; "
                   "combine algo dhc2 with model = async instead");

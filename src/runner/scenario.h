@@ -38,6 +38,10 @@ enum class Algorithm : std::uint8_t {
   kCollectAll,
   kDhc2KMachine,
   kTurau,
+  /// CRE — the linear-space sequential oracle (core/sequential_linear.h).
+  /// Like kSequential it has no CONGEST execution, so it is rejected under
+  /// model = kmachine / async and is never traced.
+  kCre,
 };
 
 /// Which execution model prices a trial.  kCongest runs the plain CONGEST

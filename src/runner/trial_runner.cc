@@ -12,12 +12,14 @@
 #include "core/dhc2.h"
 #include "core/dra.h"
 #include "core/sequential.h"
+#include "core/sequential_linear.h"
 #include "core/turau.h"
 #include "core/upcast.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/hamiltonian.h"
 #include "kmachine/kmachine.h"
+#include "runner/bench.h"
 #include "support/rng.h"
 #include "support/worker_pool.h"
 #include "trace/recorder.h"
@@ -89,6 +91,10 @@ void fill_from_result(TrialResult& out, core::Result& r) {
     out.stats["node_sent_p95"] = r.metrics.sent_summary.p95;
     out.stats["node_sent_p99"] = r.metrics.sent_summary.p99;
   }
+  // Logical in-flight message high-water mark (congest/metrics.h): a count of
+  // messages × sizeof(Message), never allocator capacity, so it is bitwise
+  // identical across thread counts, shard counts, and arena budgets.
+  out.stats["arena_bytes_peak"] = static_cast<double>(r.metrics.arena_bytes_peak);
 }
 
 // Instance facts recorded for every trial, whatever the model or solver;
@@ -121,6 +127,7 @@ kmachine::CongestAlgorithm congest_algorithm_for(const TrialConfig& t,
   // sink and the node-stats mode ride in the base configs.
   switch (t.algo) {
     case Algorithm::kSequential:
+    case Algorithm::kCre:
       return nullptr;
     case Algorithm::kDra: {
       core::DraConfig cfg;
@@ -249,7 +256,8 @@ TrialResult run_trial_unchecked(const TrialConfig& t, const TrialOptions& opt) {
 
   // Sequential trials have no network to tap; everything else records when a
   // trace directory is set.
-  const bool tracing = !opt.trace_dir.empty() && t.algo != Algorithm::kSequential;
+  const bool tracing = !opt.trace_dir.empty() && t.algo != Algorithm::kSequential &&
+                       t.algo != Algorithm::kCre;
   trace::TraceRecorder recorder;
   trace::TraceRecorder* rec = tracing ? &recorder : nullptr;
   if (rec != nullptr) {
@@ -286,6 +294,25 @@ TrialResult run_trial_unchecked(const TrialConfig& t, const TrialOptions& opt) {
     out.stats["steps"] = static_cast<double>(r.stats.steps);
     out.stats["extensions"] = static_cast<double>(r.stats.extensions);
     out.stats["rotations"] = static_cast<double>(r.stats.rotations);
+    if (out.success && verify) {
+      const auto v = graph::verify_cycle_order(g, r.cycle);
+      if (!v.ok()) {
+        out.success = false;
+        out.failure_reason = "verifier: " + *v.failure;
+      }
+    }
+  } else if (t.algo == Algorithm::kCre) {
+    // The linear-space oracle: same seed discipline as kSequential, so a cre
+    // cell pairs with any CONGEST cell that shares (family, n, delta, c, t).
+    support::Rng rng(t.algo_seed);
+    const auto r = core::cre_hamiltonian_cycle(g, rng);
+    out.success = r.success;
+    out.failure_reason = r.failure_reason;
+    out.rounds = static_cast<double>(r.stats.steps);
+    out.stats["steps"] = static_cast<double>(r.stats.steps);
+    out.stats["extensions"] = static_cast<double>(r.stats.extensions);
+    out.stats["rotations"] = static_cast<double>(r.stats.rotations);
+    out.stats["resamples"] = static_cast<double>(r.stats.resamples);
     if (out.success && verify) {
       const auto v = graph::verify_cycle_order(g, r.cycle);
       if (!v.ok()) {
@@ -336,6 +363,12 @@ TrialResult run_trial(const TrialConfig& t, const TrialOptions& opt) {
     out = TrialResult{};
     out.success = false;
     out.failure_reason = std::string("exception: ") + e.what();
+  }
+  if (opt.track_rss) {
+    // Process-wide peak at trial end: monotone, so under trial-parallelism
+    // the last trial's value is the run's peak.  Opt-in because it is not
+    // deterministic (see RunnerOptions::track_rss).
+    out.stats["rss_peak_kb"] = static_cast<double>(current_peak_rss_kb());
   }
   out.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return out;
@@ -404,6 +437,7 @@ std::vector<TrialResult> run_trials(const std::vector<TrialConfig>& trials,
   topt.shards = par.shards;
   topt.trace_dir = opt.trace_dir;
   topt.node_stats = opt.node_stats;
+  topt.track_rss = opt.track_rss;
   support::WorkerPool pool(par.threads);
   pool.run(trials.size(), [&](std::size_t i) {
     results[i] = run_trial(trials[i], topt);

@@ -79,6 +79,11 @@ struct RunnerOptions {
   /// Per-node accounting mode for every CONGEST trial (see
   /// congest::NodeStatsMode).  Headline metrics are mode-invariant.
   congest::NodeStatsMode node_stats = congest::NodeStatsMode::kFull;
+  /// Record stats["rss_peak_kb"] (the process peak RSS, getrusage, at the
+  /// end of each trial) on every result.  Off by default: the value is
+  /// machine- and scheduling-dependent, so it must never enter artifacts
+  /// that are compared bitwise across thread counts.
+  bool track_rss = false;
 };
 
 /// Per-trial knobs of run_trial — RunnerOptions minus the thread budget.
@@ -88,6 +93,8 @@ struct TrialOptions {
   std::uint32_t shards = 0;
   std::string trace_dir;
   congest::NodeStatsMode node_stats = congest::NodeStatsMode::kFull;
+  /// See RunnerOptions::track_rss.
+  bool track_rss = false;
 };
 
 /// The arbitrated thread/shard split for a run: `threads` concurrent trials,

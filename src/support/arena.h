@@ -1,0 +1,102 @@
+// A bump allocator with high-water accounting — the backing store for the
+// solvers' CSR-style per-node state slabs.
+//
+// The million-node regime (ROADMAP "Million-node trials") dies on per-node
+// std::vectors: one vector per node costs a 24-byte header plus a separate
+// heap block (allocator metadata, fragmentation) even when the payload is a
+// handful of words.  The flattened layout instead carves every node's slice
+// out of one contiguous slab sized by a prefix sum over the graph's CSR
+// rows, so per-node cost is exactly the payload plus one 32-bit length.
+//
+// Arena hands out those slabs: allocations bump a pointer inside a block,
+// oversized requests get an exactly-sized block of their own, and nothing is
+// freed until release()/destruction (the solvers' slabs live for one run).
+// bytes_live/bytes_peak make the footprint observable — DESIGN.md §10's
+// state-packing tables and the runner's memory columns read them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "support/require.h"
+
+namespace dhc::support {
+
+class Arena {
+ public:
+  /// Blocks are carved in `block_bytes` chunks; requests larger than that
+  /// get an exactly-sized block (no rounding a 150 MB slab up to a power of
+  /// two).
+  explicit Arena(std::size_t block_bytes = std::size_t{1} << 20)
+      : block_bytes_(block_bytes) {
+    DHC_REQUIRE(block_bytes_ > 0, "arena block size must be positive");
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// A value-initialized array of `count` Ts carved from the arena.  The
+  /// span stays valid until release()/destruction; T must not need a
+  /// destructor (nothing is ever destroyed individually).
+  template <typename T>
+  std::span<T> alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed wholesale; T must not own resources");
+    if (count == 0) return {};
+    T* p = static_cast<T*>(alloc_bytes(count * sizeof(T), alignof(T)));
+    std::uninitialized_value_construct_n(p, count);
+    return {p, count};
+  }
+
+  /// Frees every block.  Outstanding spans dangle; callers drop them first.
+  void release() {
+    blocks_.clear();
+    cur_ = end_ = nullptr;
+    bytes_live_ = 0;
+    bytes_reserved_ = 0;
+  }
+
+  /// Bytes handed out since construction/release (excludes alignment pad).
+  std::size_t bytes_live() const { return bytes_live_; }
+
+  /// High-water mark of bytes_live() over the arena's lifetime.
+  std::size_t bytes_peak() const { return bytes_peak_; }
+
+  /// Bytes actually reserved from the system (blocks, including slack).
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  void* alloc_bytes(std::size_t bytes, std::size_t align) {
+    auto p = reinterpret_cast<std::uintptr_t>(cur_);
+    const std::uintptr_t aligned = (p + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (cur_ == nullptr || aligned + bytes > reinterpret_cast<std::uintptr_t>(end_)) {
+      // A fresh block: normal requests share block_bytes_ chunks, oversized
+      // ones get an exact fit (alignment slack included).
+      const std::size_t need = bytes + align - 1;
+      const std::size_t size = need > block_bytes_ ? need : block_bytes_;
+      blocks_.push_back(std::make_unique<std::byte[]>(size));
+      bytes_reserved_ += size;
+      cur_ = blocks_.back().get();
+      end_ = cur_ + size;
+      return alloc_bytes(bytes, align);
+    }
+    cur_ = reinterpret_cast<std::byte*>(aligned + bytes);
+    bytes_live_ += bytes;
+    if (bytes_live_ > bytes_peak_) bytes_peak_ = bytes_live_;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::byte* cur_ = nullptr;
+  std::byte* end_ = nullptr;
+  std::size_t bytes_live_ = 0;
+  std::size_t bytes_peak_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace dhc::support

@@ -148,7 +148,7 @@ void TraceRecorder::write_ndjson(std::ostream& os, const TraceWriteOptions& opt)
   DHC_REQUIRE(finalized_, "TraceRecorder::write_ndjson requires finalize()");
   const auto wall = [&](std::uint64_t ns) { return opt.walls ? ns : 0; };
 
-  os << "{\"type\":\"meta\",\"schema\":3"
+  os << "{\"type\":\"meta\",\"schema\":4"
      << ",\"algo\":\"" << json_escape(meta_.algo) << '"'
      << ",\"model\":\"" << json_escape(meta_.model) << '"'
      << ",\"family\":\"" << json_escape(meta_.family) << '"'
@@ -256,7 +256,8 @@ void TraceRecorder::write_ndjson(std::ostream& os, const TraceWriteOptions& opt)
      << ",\"hit_round_limit\":" << (metrics_.hit_round_limit ? 1 : 0)
      << ",\"max_node_sent\":" << metrics_.max_node_messages_sent()
      << ",\"max_node_peak_memory\":" << metrics_.max_node_peak_memory()
-     << ",\"max_node_compute\":" << metrics_.max_node_compute();
+     << ",\"max_node_compute\":" << metrics_.max_node_compute()
+     << ",\"arena_bytes_peak\":" << metrics_.arena_bytes_peak;
   if (!krounds_.empty()) os << ",\"kmachine_rounds\":" << kround_charge_total_;
   if (metrics_.delayed_messages != 0 || metrics_.dropped_messages != 0 ||
       metrics_.crash_dropped_messages != 0 || metrics_.crashed_steps != 0) {

@@ -1,0 +1,82 @@
+// Arena: the bump allocator backing the solvers' flattened per-node slabs.
+// Pins the contracts the flattening relies on: value-initialized disjoint
+// spans, live/peak byte accounting, exact blocks for oversized requests, and
+// alignment across mixed element types.
+#include "support/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+
+namespace dhc::support {
+namespace {
+
+TEST(Arena, AllocatesValueInitializedDisjointSpans) {
+  Arena arena(/*block_bytes=*/256);
+  std::span<std::uint32_t> a = arena.alloc_array<std::uint32_t>(10);
+  std::span<std::uint32_t> b = arena.alloc_array<std::uint32_t>(10);
+  ASSERT_EQ(a.size(), 10u);
+  ASSERT_EQ(b.size(), 10u);
+  for (std::uint32_t x : a) EXPECT_EQ(x, 0u);
+  for (std::uint32_t x : b) EXPECT_EQ(x, 0u);
+  std::iota(a.begin(), a.end(), 100u);
+  std::iota(b.begin(), b.end(), 900u);
+  EXPECT_EQ(a[0], 100u);
+  EXPECT_EQ(a[9], 109u);
+  EXPECT_EQ(b[0], 900u);
+  EXPECT_EQ(b[9], 909u);
+}
+
+TEST(Arena, TracksLiveAndPeakBytes) {
+  Arena arena(/*block_bytes=*/1024);
+  EXPECT_EQ(arena.bytes_live(), 0u);
+  arena.alloc_array<std::uint64_t>(8);
+  EXPECT_EQ(arena.bytes_live(), 64u);
+  arena.alloc_array<std::uint8_t>(3);
+  EXPECT_EQ(arena.bytes_live(), 67u);
+  EXPECT_EQ(arena.bytes_peak(), 67u);
+  arena.release();
+  EXPECT_EQ(arena.bytes_live(), 0u);
+  // Peak survives release: it is a lifetime high-water mark.
+  EXPECT_EQ(arena.bytes_peak(), 67u);
+  arena.alloc_array<std::uint8_t>(5);
+  EXPECT_EQ(arena.bytes_live(), 5u);
+  EXPECT_EQ(arena.bytes_peak(), 67u);
+}
+
+TEST(Arena, OversizedRequestGetsExactBlock) {
+  Arena arena(/*block_bytes=*/64);
+  std::span<std::uint32_t> big = arena.alloc_array<std::uint32_t>(1 << 16);
+  ASSERT_EQ(big.size(), std::size_t{1} << 16);
+  const std::size_t payload = (std::size_t{1} << 16) * sizeof(std::uint32_t);
+  EXPECT_EQ(arena.bytes_live(), payload);
+  // No geometric rounding: a 256 KB slab must not reserve 512 KB.
+  EXPECT_GE(arena.bytes_reserved(), payload);
+  EXPECT_LE(arena.bytes_reserved(), payload + 64 + alignof(std::uint32_t));
+  big[0] = 7;
+  big[big.size() - 1] = 9;
+  EXPECT_EQ(big[0], 7u);
+  EXPECT_EQ(big[big.size() - 1], 9u);
+}
+
+TEST(Arena, AlignsMixedTypes) {
+  Arena arena(/*block_bytes=*/128);
+  arena.alloc_array<std::uint8_t>(1);
+  std::span<std::uint64_t> wide = arena.alloc_array<std::uint64_t>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(wide.data()) % alignof(std::uint64_t), 0u);
+  wide[3] = 0xdeadbeefULL;
+  EXPECT_EQ(wide[3], 0xdeadbeefULL);
+}
+
+TEST(Arena, ZeroCountReturnsEmptySpan) {
+  Arena arena;
+  std::span<std::uint32_t> empty = arena.alloc_array<std::uint32_t>(0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(arena.bytes_live(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+}
+
+}  // namespace
+}  // namespace dhc::support

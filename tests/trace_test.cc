@@ -2,7 +2,7 @@
 // counter, phase-span accounting, the k-machine kround stream, the reader
 // round trip, and the run_trial trace-file integration.
 //
-// The golden file pins the byte-exact schema-v3 output (wall fields zeroed,
+// The golden file pins the byte-exact schema-v4 output (wall fields zeroed,
 // shard-profile fields omitted — the deterministic projection).  Regenerate
 // after a reviewed schema change with:
 //
@@ -203,7 +203,7 @@ TEST(TraceReader, RoundTripPreservesEveryRecord) {
   rec.write_ndjson(ss);  // full output: walls + shard profile on
   const TraceData data = read_trace(ss);
 
-  EXPECT_EQ(data.schema, 3u);
+  EXPECT_EQ(data.schema, 4u);
   EXPECT_EQ(data.meta_str("algo"), "turau");
   EXPECT_EQ(data.meta_u64("n"), 80u);
   EXPECT_EQ(data.meta_u64("m"), g.m());
@@ -251,7 +251,7 @@ TEST(TraceReader, FaultRecordsRoundTripFromAnAsyncRun) {
   rec.write_ndjson(ss);
   const TraceData data = read_trace(ss);
 
-  EXPECT_EQ(data.schema, 3u);
+  EXPECT_EQ(data.schema, 4u);
   ASSERT_EQ(data.faults.size(), rec.faults().size());
   std::uint64_t delayed = 0, dropped = 0;
   for (std::size_t i = 0; i < data.faults.size(); ++i) {
@@ -293,7 +293,7 @@ TEST(TraceReader, RetransAndRejoinRecordsRoundTripFromAReliableRun) {
   rec.write_ndjson(ss);
   const TraceData data = read_trace(ss);
 
-  EXPECT_EQ(data.schema, 3u);
+  EXPECT_EQ(data.schema, 4u);
   ASSERT_EQ(data.retrans.size(), rec.retrans().size());
   std::uint64_t retransmits = 0, dups = 0, acks = 0;
   for (std::size_t i = 0; i < data.retrans.size(); ++i) {

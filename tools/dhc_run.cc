@@ -11,7 +11,8 @@
 // Flags (all optional; scenario-file keys use the same names):
 //   --scenario=FILE   key = value scenario file; other flags override it
 //   --name=STR        scenario name recorded in the artifacts
-//   --algos=LIST      sequential|dra|dhc1|dhc2|upcast|collect-all|dhc2-kmachine|turau
+//   --algos=LIST      sequential|dra|dhc1|dhc2|upcast|collect-all|dhc2-kmachine|
+//                     turau|cre (cre = the linear-space sequential oracle)
 //   --model=STR       congest (default) | kmachine | async — kmachine runs
 //                     every selected algorithm through the k-machine
 //                     execution backend (paper §IV) and sweeps --k; async
@@ -55,6 +56,10 @@
 //   --node_stats=STR  per-node accounting: full (default) | streaming | off;
 //                     streaming keeps fixed-size quantile digests instead of
 //                     per-node vectors (the large-n mode)
+//   --track_rss=BOOL  record stats["rss_peak_kb"] (process peak RSS at each
+//                     trial's end) on every result (default false — the value
+//                     is machine-dependent, so artifacts that must be
+//                     bitwise-comparable across thread counts leave it off)
 //
 // Benchmark mode (perf trajectory; see README "Performance tracking"):
 //   --bench=LIST      run the named presets (or "all"); prints throughput and
@@ -132,7 +137,8 @@ int run_bench_mode(const dhc::support::Cli& cli) {
     std::cout << "  " << m.trials << " trials (" << m.successes << " ok, " << m.threads
               << " thread(s) x " << m.shards << " shard(s)) in " << m.wall_seconds
               << " s — " << m.trials_per_sec << " trials/s, " << m.messages_per_sec
-              << " msgs/s, peak RSS " << m.peak_rss_kb << " kB\n";
+              << " msgs/s, peak RSS " << m.rss_peak_kb << " kB, arena peak "
+              << m.arena_bytes_peak << " B\n";
   }
 
   const std::string path = cli.get_string("bench-json", "BENCH_congest.json");
@@ -158,7 +164,7 @@ int main(int argc, char** argv) {
                    "[--reliability=none|ack] [--rto=SPEC] [--max_rounds=N] "
                    "[--seeds=N] [--threads=N] [--json=PATH] [--csv=PATH]\n"
                    "algorithms: sequential|dra|dhc1|dhc2|upcast|collect-all|"
-                   "dhc2-kmachine|turau\n"
+                   "dhc2-kmachine|turau|cre\n"
                    "--model=kmachine prices any algorithm in the k-machine model "
                    "(sweeps --k machine counts).\n"
                    "--model=async injects seed-deterministic delivery delays "
@@ -178,6 +184,7 @@ int main(int argc, char** argv) {
     opt.verify = cli.get_bool("verify", true);
     opt.shards = checked_unsigned(cli, "shards", 1 << 20);
     opt.node_stats = scenario.node_stats;
+    opt.track_rss = cli.get_bool("track_rss", false);
     if (cli.has("trace")) {
       opt.trace_dir = cli.get_string("trace", "");
       if (opt.trace_dir.empty() || opt.trace_dir == "true") {

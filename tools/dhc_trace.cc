@@ -20,7 +20,14 @@
 //                            both artifacts carry it (schema 4+; overlay
 //                            retransmit/ack traffic excluded so async preset
 //                            baselines survive RTO tuning), messages_total
-//                            otherwise.
+//                            otherwise.  When both artifacts carry
+//                            rss_peak_kb (schema 5+) it is additionally
+//                            pinned within the tolerance (32 MB slack floor).
+//   --trajectory=J1,J2,...   chronological bench artifacts: every shared
+//                            preset must be no slower at each step than
+//                            --tolerance below the previous artifact (the
+//                            CI-enforced pre -> CSR -> sharded perf curve)
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -89,12 +96,70 @@ int bench_gate(const std::string& current_path, const std::string& baseline_path
                 << cur_msgs << " (WORKLOAD CHANGED — refresh the baseline)\n";
       ++failures;
     }
+
+    // Footprint gate: rss_peak_kb within the tolerance, engaged only when
+    // BOTH artifacts carry the schema-5 key (older baselines keep working).
+    // Small presets jitter by whole pages, so the slack never drops below a
+    // 32 MB floor.
+    const bool have_rss =
+        cur.find("rss_peak_kb") != nullptr && base->find("rss_peak_kb") != nullptr;
+    if (have_rss) {
+      const double cur_rss = cur.number("rss_peak_kb");
+      const double base_rss = base->number("rss_peak_kb");
+      const double slack = std::max(base_rss * tolerance, 32.0 * 1024.0);
+      const bool rss_ok = cur_rss <= base_rss + slack;
+      std::cout << "bench-gate: " << name << ": rss " << base_rss << " -> " << cur_rss
+                << " kB" << (rss_ok ? " (ok)" : " (FOOTPRINT REGRESSION)") << "\n";
+      if (!rss_ok) ++failures;
+    }
   }
   if (failures > 0) {
     std::cout << "bench-gate: FAILED (" << failures << " check(s))\n";
     return EXIT_FAILURE;
   }
   std::cout << "bench-gate: ok (tolerance " << tolerance << ")\n";
+  return EXIT_SUCCESS;
+}
+
+// The perf-trajectory check: given bench artifacts in chronological order
+// (pre -> CSR -> sharded -> ...), every preset they share must be no slower
+// in each successive artifact than `tolerance` below its predecessor — the
+// "the curve only bends upward" property CI enforces on the committed
+// baselines themselves.
+int bench_trajectory(const std::vector<std::string>& paths, double tolerance) {
+  if (paths.size() < 2) {
+    throw std::invalid_argument("--trajectory needs at least two artifacts: --trajectory=A,B,...");
+  }
+  std::vector<JsonValue> artifacts;
+  for (const auto& p : paths) artifacts.push_back(dhc::support::parse_json(slurp(p)));
+
+  int failures = 0;
+  for (std::size_t i = 1; i < artifacts.size(); ++i) {
+    for (const JsonValue& cur : artifacts[i].get("scenarios").as_array()) {
+      const std::string& name = cur.str("name");
+      const JsonValue* prev = nullptr;
+      for (const JsonValue& b : artifacts[i - 1].get("scenarios").as_array()) {
+        if (b.str("name") == name) {
+          prev = &b;
+          break;
+        }
+      }
+      if (prev == nullptr) continue;  // preset introduced at step i
+      const double prev_tps = prev->number("trials_per_sec");
+      const double cur_tps = cur.number("trials_per_sec");
+      const bool ok = cur_tps >= prev_tps * (1.0 - tolerance);
+      std::cout << "trajectory: " << name << " [" << paths[i - 1] << " -> " << paths[i]
+                << "]: " << prev_tps << " -> " << cur_tps << " trials/s"
+                << (ok ? " (ok)" : " (CURVE BENT DOWN)") << "\n";
+      if (!ok) ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::cout << "trajectory: FAILED (" << failures << " check(s))\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "trajectory: ok (" << paths.size() << " artifacts, tolerance " << tolerance
+            << ")\n";
   return EXIT_SUCCESS;
 }
 
@@ -107,7 +172,7 @@ int main(int argc, char** argv) {
     if (cli.has("help") || argc == 1) {
       std::cout << "usage: dhc_trace --summarize=TRACE | --diff=A,B | --imbalance=TRACE | "
                    "--chrome=TRACE [--out=PATH] | --bench-gate=JSON --baseline=JSON "
-                   "[--tolerance=0.15]\n"
+                   "[--tolerance=0.15] | --trajectory=JSON,JSON,... [--tolerance=0.15]\n"
                    "See the header of tools/dhc_trace.cc for details.\n";
       return EXIT_SUCCESS;
     }
@@ -147,6 +212,14 @@ int main(int argc, char** argv) {
       return EXIT_SUCCESS;
     }
 
+    if (cli.has("trajectory")) {
+      const double tolerance = cli.get_double("tolerance", 0.15);
+      if (tolerance < 0.0 || tolerance >= 1.0) {
+        throw std::invalid_argument("--tolerance must be in [0, 1)");
+      }
+      return bench_trajectory(cli.get_string_list("trajectory", {}), tolerance);
+    }
+
     if (cli.has("bench-gate")) {
       if (!cli.has("baseline")) {
         throw std::invalid_argument("--bench-gate needs --baseline=BENCH_JSON");
@@ -160,7 +233,8 @@ int main(int argc, char** argv) {
     }
 
     throw std::invalid_argument(
-        "pick a mode: --summarize, --diff, --imbalance, --chrome, or --bench-gate");
+        "pick a mode: --summarize, --diff, --imbalance, --chrome, --bench-gate, "
+        "or --trajectory");
   } catch (const std::invalid_argument& e) {
     std::cerr << "dhc_trace: " << e.what() << "\n(run with --help for usage)\n";
     return 2;
