@@ -251,7 +251,10 @@ void Network::throw_over_capacity(const std::vector<Message>& round_outbox, Node
   // identical for every shard count.
   std::string prior_tags;
   for (const Message& queued : round_outbox) {
-    if (queued.from == from && queued.to == to) prior_tags += " " + std::to_string(queued.tag);
+    if (queued.from == from && queued.to == to) {
+      prior_tags += ' ';
+      prior_tags += std::to_string(queued.tag);
+    }
   }
   throw CongestViolation("edge (" + std::to_string(from) + "→" + std::to_string(to) +
                          ") over capacity in round " + std::to_string(round_) +

@@ -8,6 +8,7 @@ namespace dhc::support {
 std::vector<std::uint64_t> Rng::sample_distinct(std::uint64_t n, std::uint64_t k) {
   DHC_REQUIRE(k <= n, "cannot sample " << k << " distinct values from [0, " << n << ")");
   // Floyd's algorithm: k iterations, expected O(k) hash operations.
+  // dhc-lint: allow(R2) -- membership-only collision check; Floyd's algorithm appends to `result` in draw order, the set is probed, never iterated
   std::unordered_set<std::uint64_t> chosen;
   chosen.reserve(static_cast<std::size_t>(k) * 2);
   std::vector<std::uint64_t> result;

@@ -128,7 +128,9 @@ int print_diff(const TraceData& a, const TraceData& b, std::ostream& os) {
            "bits B", "d_bits"});
   const auto delta = [](std::uint64_t x, std::uint64_t y) {
     const auto d = static_cast<std::int64_t>(y) - static_cast<std::int64_t>(x);
-    return (d > 0 ? "+" : "") + std::to_string(d);
+    std::string s = std::to_string(d);
+    if (d > 0) s.insert(s.begin(), '+');
+    return s;
   };
   for (const std::string& label : labels) {
     const PhaseAgg x = lookup(pa, label);

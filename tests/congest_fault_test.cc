@@ -145,7 +145,9 @@ TEST(FaultPlan, DropStreamsAreNestedAcrossProbabilities) {
         const bool hi_drop = hi.drop(u, v, r);
         lo_drops += lo_drop;
         hi_drops += hi_drop;
-        if (lo_drop) EXPECT_TRUE(hi_drop) << u << "->" << v << " r" << r;
+        if (lo_drop) {
+          EXPECT_TRUE(hi_drop) << u << "->" << v << " r" << r;
+        }
       }
     }
   }

@@ -168,7 +168,9 @@ TEST(ShardEngine, ResolvesShardsFromEnvironmentWhenUnset) {
   const char* env = std::getenv("DHC_SHARDS");
   const std::uint32_t expected = default_shards();
   EXPECT_EQ(net.shards(), expected);
-  if (env == nullptr) EXPECT_EQ(expected, 1u);
+  if (env == nullptr) {
+    EXPECT_EQ(expected, 1u);
+  }
 }
 
 TEST(ShardEngine, CapacityViolationDiagnosticIdenticalWhenSharded) {

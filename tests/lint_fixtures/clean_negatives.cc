@@ -1,0 +1,42 @@
+// Lint fixture: every construct here is legal — the scanner must report
+// ZERO findings for this file.  Each line is a near-miss for one rule.
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct Node {
+  int id;
+  // R5 near-miss: static member FUNCTIONS are fine (no mutable state).
+  static Node make(int id) { return Node{id}; }
+};
+
+// R5 near-miss: immutable statics are fine.
+static constexpr std::uint64_t kWheelSize = 1024;
+static const char* kLabel = "fixture";
+
+// R4 near-miss: pointers as VALUES are fine; only pointer KEYS are ASLR.
+std::map<std::uint64_t, Node*> node_by_id;
+
+// R3 near-miss: steady_clock is the sanctioned measurement clock, and
+// identifiers merely containing banned words (time_point, wall_time,
+// rand_state) must not trip the call-site matchers.
+double wall_time() {
+  const std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  std::uint64_t rand_state = static_cast<std::uint64_t>(t0.time_since_epoch().count());
+  rand_state ^= rand_state >> 31;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// R1/R2/R3 near-miss: banned tokens in comments and string literals are
+// stripped before matching: thread_local, unordered_map, rand(), time(...).
+const std::string kProse =
+    "thread_local unordered_set rand( time( system_clock random_device";
+
+// R5 near-miss: static_cast / static_assert share a prefix, not the keyword.
+static_assert(kWheelSize == 1024, "fixture invariant");
+int widen(short x) { return static_cast<int>(x); }
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Lint fixture: R1 suppressed by an inline annotation with a written reason.
+namespace fixture {
+
+// dhc-lint: allow(R1) -- reset at trial entry and merged serially before any read
+thread_local int upcast_scratch = 0;
+
+int touch() { return ++upcast_scratch; }
+
+}  // namespace fixture

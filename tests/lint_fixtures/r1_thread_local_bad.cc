@@ -1,0 +1,11 @@
+// Lint fixture: R1 must trip.  Never compiled — scanned by tools_dhc_lint_test.
+//
+// The shape of the PR 5 bug: a per-thread scratch buffer on the persistent
+// WorkerPool outlives the trial that grew it, so trial N+1 observes trial N.
+namespace fixture {
+
+thread_local int upcast_scratch = 0;
+
+int touch() { return ++upcast_scratch; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Lint fixture: R2 suppressed by an inline annotation with a written reason.
+#include <cstdint>
+#include <unordered_set>
+
+namespace fixture {
+
+bool seen_before(std::uint64_t key) {
+  // dhc-lint: allow(R2) -- membership-only rejection filter; never iterated
+  static thread_local std::unordered_set<std::uint64_t> seen;  // dhc-lint: allow(R1,R5) -- fixture exercises same-line multi-rule suppression
+  return !seen.insert(key).second;
+}
+
+}  // namespace fixture

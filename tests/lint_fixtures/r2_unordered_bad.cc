@@ -1,0 +1,18 @@
+// Lint fixture: R2 must trip.  Never compiled — scanned by tools_dhc_lint_test.
+//
+// Draining a hash map on the step path makes message order depend on the
+// libstdc++ hash policy — a different standard library is a different run.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+int drain() {
+  std::unordered_map<std::uint32_t, int> pending;
+  pending[3] = 1;
+  int sum = 0;
+  for (const auto& [node, count] : pending) sum += count;
+  return sum;
+}
+
+}  // namespace fixture

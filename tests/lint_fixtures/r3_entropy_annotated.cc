@@ -1,0 +1,17 @@
+// Lint fixture: R3 suppressed by inline annotations with written reasons.
+#include <chrono>
+#include <random>
+
+namespace fixture {
+
+unsigned seed_material() {
+  // dhc-lint: allow(R3) -- operator-facing default seed; every trial logs the resolved value
+  std::random_device entropy;
+  unsigned sum = entropy();
+  sum += static_cast<unsigned>(
+      // dhc-lint: allow(R3) -- wall-clock timestamp for the artifact header, never a seed
+      std::chrono::system_clock::now().time_since_epoch().count());
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Lint fixture: R3 must trip (five banned sources).  Never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned roll() {
+  std::srand(42);
+  unsigned sum = static_cast<unsigned>(std::rand());
+  sum += static_cast<unsigned>(time(nullptr));
+  std::random_device entropy;
+  sum += entropy();
+  sum += static_cast<unsigned>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  sum += static_cast<unsigned>(
+      std::chrono::high_resolution_clock::now().time_since_epoch().count());
+  return sum;
+}
+
+}  // namespace fixture

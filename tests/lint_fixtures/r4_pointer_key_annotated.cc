@@ -1,0 +1,13 @@
+// Lint fixture: R4 suppressed by an inline annotation with a written reason.
+#include <set>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+// dhc-lint: allow(R4) -- debug-only leak tracker; contents counted, never iterated in order
+std::set<Node*> live_nodes;
+
+}  // namespace fixture

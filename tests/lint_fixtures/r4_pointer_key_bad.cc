@@ -1,0 +1,22 @@
+// Lint fixture: R4 must trip.  Never compiled — scanned by tools_dhc_lint_test.
+//
+// Pointer comparison order is the allocator's address order, i.e. ASLR:
+// iterating this map visits nodes in a different order every process run.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+int sum_ranks(const std::map<const Node*, int>& rank_by_node) {
+  int sum = 0;
+  for (const auto& [node, rank] : rank_by_node) sum += rank;
+  return sum;
+}
+
+std::set<Node*> live_nodes;
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: R5 suppressed by an inline annotation with a written reason.
+#include <cstdint>
+
+namespace fixture {
+
+int step() {
+  // dhc-lint: allow(R5) -- written once under the spawn-once lock before workers start
+  static std::uint64_t rounds_seen = 0;
+  return static_cast<int>(++rounds_seen);
+}
+
+}  // namespace fixture

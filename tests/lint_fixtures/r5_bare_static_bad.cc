@@ -1,0 +1,15 @@
+// Lint fixture: R5 must trip.  Never compiled — scanned by tools_dhc_lint_test.
+//
+// A bare mutable static on the step path is shared by every worker thread
+// and every trial: a data race under shards > 1 and cross-trial coupling
+// even at shards = 1.  Aggregates belong in ShardCounter / serial merges.
+#include <cstdint>
+
+namespace fixture {
+
+int step() {
+  static std::uint64_t rounds_seen = 0;
+  return static_cast<int>(++rounds_seen);
+}
+
+}  // namespace fixture

@@ -40,7 +40,9 @@ TEST(Pairing, AlgorithmsShareIdenticalInstances) {
     for (const auto* t : members) {
       EXPECT_EQ(t->graph_seed, members[0]->graph_seed);
       // Solver randomness stays per-cell even though the instance is shared.
-      if (t != members[0]) EXPECT_NE(t->algo_seed, members[0]->algo_seed);
+      if (t != members[0]) {
+        EXPECT_NE(t->algo_seed, members[0]->algo_seed);
+      }
       const auto edges = make_trial_instance(*t).edges();
       EXPECT_EQ(edges, reference)
           << to_string(t->algo) << " got a different instance than "

@@ -1,0 +1,243 @@
+// Tests for tools/lint — the determinism linter (DESIGN.md §11).
+//
+// The fixture files under tests/lint_fixtures/ are the rule-by-rule
+// contract: every *_bad.cc must trip exactly its own rule, every
+// *_annotated.cc must scan clean because its inline suppressions carry
+// written reasons, and clean_negatives.cc (a file of near-misses) must
+// produce zero findings.  The inline-source cases pin the scanner
+// mechanics: comment/string stripping, suppression grammar, allowlist
+// parsing, and step-path classification.
+#include "dhc_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using dhc::lint::FileReport;
+using dhc::lint::Options;
+using dhc::lint::scan_source;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(DHC_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Fixtures live outside src/, so step-path classification keys on the
+/// directory name instead — every fixture is treated as step-path code,
+/// which is the strictest regime (R2 hard, R5 active).
+Options fixture_options() {
+  Options options;
+  options.step_path_markers = {"lint_fixtures"};
+  return options;
+}
+
+FileReport scan_fixture(const std::string& name) {
+  const std::string path = fixture_path(name);
+  return scan_source(path, read_file(path), fixture_options());
+}
+
+TEST(DhcLintFixtures, EveryBadFixtureTripsExactlyItsRule) {
+  const struct {
+    const char* file;
+    const char* rule;
+    int min_findings;
+  } kCases[] = {
+      {"r1_thread_local_bad.cc", "R1", 1},
+      {"r2_unordered_bad.cc", "R2", 1},
+      {"r3_entropy_bad.cc", "R3", 6},  // srand, rand, time, random_device, 2 clocks
+      {"r4_pointer_key_bad.cc", "R4", 2},  // pointer-keyed map and set
+      {"r5_bare_static_bad.cc", "R5", 1},
+  };
+  for (const auto& c : kCases) {
+    const FileReport report = scan_fixture(c.file);
+    EXPECT_GE(report.unsuppressed, c.min_findings) << c.file;
+    ASSERT_FALSE(report.findings.empty()) << c.file;
+    for (const auto& finding : report.findings) {
+      EXPECT_EQ(finding.rule, c.rule) << c.file << ":" << finding.line;
+      EXPECT_FALSE(finding.suppressed) << c.file << ":" << finding.line;
+    }
+  }
+}
+
+TEST(DhcLintFixtures, EveryAnnotatedFixtureScansClean) {
+  for (const char* file :
+       {"r1_thread_local_annotated.cc", "r2_unordered_annotated.cc", "r3_entropy_annotated.cc",
+        "r4_pointer_key_annotated.cc", "r5_bare_static_annotated.cc"}) {
+    const FileReport report = scan_fixture(file);
+    EXPECT_EQ(report.unsuppressed, 0) << file;
+    ASSERT_FALSE(report.findings.empty()) << file << " should still record suppressed findings";
+    for (const auto& finding : report.findings) {
+      EXPECT_TRUE(finding.suppressed) << file << ":" << finding.line;
+      EXPECT_FALSE(finding.suppress_reason.empty()) << file << ":" << finding.line;
+    }
+    for (const auto& ann : report.annotations) {
+      EXPECT_TRUE(ann.used) << file << ":" << ann.line << " stale annotation";
+    }
+  }
+}
+
+TEST(DhcLintFixtures, CleanNegativesProduceZeroFindings) {
+  const FileReport report = scan_fixture("clean_negatives.cc");
+  for (const auto& finding : report.findings) {
+    ADD_FAILURE() << "clean_negatives.cc:" << finding.line << " [" << finding.rule << "] "
+                  << finding.message;
+  }
+}
+
+TEST(DhcLintFixtures, MultiRuleSameLineSuppression) {
+  // r2_unordered_annotated.cc declares `static thread_local unordered_set`,
+  // which trips R1, R2, and R5 at once; the same-line allow(R1,R5) plus the
+  // line-above allow(R2) must cover all three.
+  const FileReport report = scan_fixture("r2_unordered_annotated.cc");
+  std::vector<std::string> rules;
+  for (const auto& finding : report.findings) rules.push_back(finding.rule);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "R1"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "R2"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "R5"), rules.end());
+  EXPECT_EQ(report.unsuppressed, 0);
+}
+
+TEST(DhcLintScanner, CommentsAndStringsNeverTrip) {
+  const char* text =
+      "// thread_local unordered_map rand( time( system_clock\n"
+      "/* std::random_device high_resolution_clock */\n"
+      "const char* s = \"thread_local rand( \";\n"
+      "const char* r = R\"(std::unordered_set time( )\";\n";
+  const FileReport report = scan_source("src/core/x.cc", text, Options{});
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(DhcLintScanner, AllowWithoutReasonDoesNotSuppress) {
+  const char* text =
+      "// dhc-lint: allow(R1)\n"
+      "thread_local int scratch = 0;\n";
+  const FileReport report = scan_source("src/core/x.cc", text, Options{});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_FALSE(report.findings[0].suppressed);
+  EXPECT_EQ(report.unsuppressed, 1);
+}
+
+TEST(DhcLintScanner, AnnotationOnlyCoversAdjacentLine) {
+  const char* text =
+      "// dhc-lint: allow(R1) -- only reaches the next line\n"
+      "int pad = 0;\n"
+      "thread_local int scratch = 0;\n";
+  const FileReport report = scan_source("src/core/x.cc", text, Options{});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_FALSE(report.findings[0].suppressed);
+}
+
+TEST(DhcLintScanner, StepPathControlsR5AndR2Severity) {
+  const char* text = "int step() { static int calls = 0; return ++calls; }\n";
+  EXPECT_EQ(scan_source("src/congest/net.cc", text, Options{}).unsuppressed, 1);
+  EXPECT_EQ(scan_source("src/graph/gen.cc", text, Options{}).unsuppressed, 0)
+      << "R5 is a step-path rule";
+  const char* unordered = "std::unordered_set<int> seen;\n";
+  const FileReport on = scan_source("src/core/a.cc", unordered, Options{});
+  const FileReport off = scan_source("src/support/a.cc", unordered, Options{});
+  ASSERT_EQ(on.findings.size(), 1u);
+  ASSERT_EQ(off.findings.size(), 1u);
+  EXPECT_NE(on.findings[0].message, off.findings[0].message)
+      << "step-path R2 should demand conversion, elsewhere an audit rationale";
+}
+
+TEST(DhcLintScanner, StaticFunctionsAndConstantsPass) {
+  const char* text =
+      "struct S { static S parse(const std::string& spec); };\n"
+      "static constexpr int kSlots = 1024;\n"
+      "static const char* kName = \"x\";\n"
+      "static std::vector<int> make_table() { return {}; }\n";
+  const FileReport report = scan_source("src/congest/net.cc", text, Options{});
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(DhcLintScanner, PointerValuesPassPointerKeysTrip) {
+  Options options;
+  EXPECT_EQ(scan_source("src/core/a.cc", "std::map<int, Node*> by_id;\n", options).unsuppressed, 0);
+  EXPECT_EQ(scan_source("src/core/a.cc", "std::map<const Node*, int> rank;\n", options).unsuppressed,
+            1);
+  EXPECT_EQ(scan_source("src/core/a.cc", "std::set<Node*> live;\n", options).unsuppressed, 1);
+  // Nested template in the key position, pointer only in the value: fine.
+  EXPECT_EQ(scan_source("src/core/a.cc", "std::map<std::pair<int, int>, Node*> m;\n", options)
+                .unsuppressed,
+            0);
+}
+
+TEST(DhcLintScanner, SteadyClockAndNearMissIdentifiersPass) {
+  const char* text =
+      "auto t0 = std::chrono::steady_clock::now();\n"
+      "std::uint64_t rand_state = 1;\n"
+      "double wall_time(int x);\n"
+      "auto dt = t0.time_since_epoch();\n";
+  EXPECT_TRUE(scan_source("src/runner/bench.cc", text, Options{}).findings.empty());
+}
+
+TEST(DhcLintAllowlist, ParsesEntriesAndRejectsMalformedOnes) {
+  const char* text =
+      "# comment\n"
+      "\n"
+      "R2 src/graph/generators.cc -- membership-only rejection filter\n"
+      "R3 bench/ -- wall-clock harness\n"
+      "R2 missing-reason\n"
+      "R9 also-missing --\n";
+  std::vector<std::string> errors;
+  const auto entries = dhc::lint::parse_allowlist(text, &errors);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].rule, "R2");
+  EXPECT_EQ(entries[0].path_substring, "src/graph/generators.cc");
+  EXPECT_EQ(entries[0].reason, "membership-only rejection filter");
+  EXPECT_EQ(errors.size(), 2u);
+}
+
+TEST(DhcLintAllowlist, FileLevelEntriesSuppressByPathSubstring) {
+  Options options;
+  options.allowlist.push_back({"R2", "graph/generators", "membership-only", false});
+  const char* text = "std::unordered_set<std::uint64_t> seen;\n";
+  const FileReport hit = scan_source("src/graph/generators.cc", text, options);
+  EXPECT_EQ(hit.unsuppressed, 0);
+  EXPECT_TRUE(hit.findings[0].suppressed);
+  const FileReport miss = scan_source("src/graph/other.cc", text, options);
+  EXPECT_EQ(miss.unsuppressed, 1);
+}
+
+TEST(DhcLintRunner, EndToEndOverFixtureDirectory) {
+  // The full directory contains the five bad fixtures: exit code 1 and one
+  // diagnostic line per unsuppressed finding.
+  std::ostringstream out;
+  const int rc = dhc::lint::run_lint({std::string(DHC_LINT_FIXTURE_DIR)}, fixture_options(), out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("[R1]"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("[R5]"), std::string::npos) << out.str();
+
+  // The annotated + clean fixtures alone scan green.
+  std::ostringstream clean_out;
+  const int clean_rc = dhc::lint::run_lint(
+      {fixture_path("r1_thread_local_annotated.cc"), fixture_path("r2_unordered_annotated.cc"),
+       fixture_path("r3_entropy_annotated.cc"), fixture_path("r4_pointer_key_annotated.cc"),
+       fixture_path("r5_bare_static_annotated.cc"), fixture_path("clean_negatives.cc")},
+      fixture_options(), clean_out);
+  EXPECT_EQ(clean_rc, 0) << clean_out.str();
+}
+
+TEST(DhcLintRunner, StaleAnnotationIsReportedButNotFatal) {
+  const char* text = "// dhc-lint: allow(R1) -- nothing here trips R1\nint x = 0;\n";
+  const FileReport report = scan_source("src/core/x.cc", text, Options{});
+  ASSERT_EQ(report.annotations.size(), 1u);
+  EXPECT_FALSE(report.annotations[0].used);
+  EXPECT_EQ(report.unsuppressed, 0);
+}
+
+}  // namespace

@@ -1,0 +1,582 @@
+#include "dhc_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace dhc::lint {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// A comment's text and the 1-based line it starts on, harvested during
+/// stripping so annotations survive while banned tokens in prose do not.
+struct CommentSpan {
+  int line = 0;
+  std::string text;
+};
+
+/// Replaces comments, string literals, and char literals with spaces
+/// (newlines preserved, so offsets keep their line numbers) and returns the
+/// comment spans for annotation parsing.  Handles raw string literals, which
+/// otherwise could smuggle an unescaped quote past the state machine.
+struct StrippedSource {
+  std::string text;
+  std::vector<CommentSpan> comments;
+};
+
+StrippedSource strip_comments_and_strings(std::string_view src) {
+  StrippedSource out;
+  out.text.assign(src.begin(), src.end());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;       // the )delim" terminator of an active raw string
+  CommentSpan current_comment;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto blank = [&](std::size_t pos) {
+    if (out.text[pos] != '\n') out.text[pos] = ' ';
+  };
+  while (i < n) {
+    const char c = src[i];
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+          state = State::kLineComment;
+          current_comment = {line, ""};
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+          state = State::kBlockComment;
+          current_comment = {line, ""};
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          // R"delim( ... )delim" — only when R directly abuts the quote and
+          // is not the tail of a longer identifier (e.g. `LR` or `myR`).
+          if (i > 0 && src[i - 1] == 'R' && (i < 2 || !is_ident_char(src[i - 2]))) {
+            std::size_t j = i + 1;
+            while (j < n && src[j] != '(' && src[j] != '\n') ++j;
+            if (j < n && src[j] == '(') {
+              raw_delim = ")" + std::string(src.substr(i + 1, j - (i + 1))) + "\"";
+              state = State::kRawString;
+              for (std::size_t k = i; k <= j; ++k) blank(k);
+              i = j + 1;
+              continue;
+            }
+          }
+          state = State::kString;
+          blank(i);
+          ++i;
+          continue;
+        }
+        if (c == '\'') {
+          state = State::kChar;
+          blank(i);
+          ++i;
+          continue;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          out.comments.push_back(current_comment);
+          state = State::kCode;
+        } else {
+          current_comment.text.push_back(c);
+          blank(i);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && src[i + 1] == '/') {
+          out.comments.push_back(current_comment);
+          state = State::kCode;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          if (c == '\n') ++line;  // unreachable ('*'), keeps the pattern uniform
+          continue;
+        }
+        current_comment.text.push_back(c);
+        blank(i);
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          if (src[i + 1] == '\n') ++line;
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          state = State::kCode;
+        }
+        blank(i);
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          if (src[i + 1] == '\n') ++line;
+          i += 2;
+          continue;
+        }
+        if (c == '\'') {
+          state = State::kCode;
+        }
+        blank(i);
+        break;
+      case State::kRawString:
+        if (c == ')' && src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) blank(i + k);
+          i += raw_delim.size();
+          state = State::kCode;
+          continue;
+        }
+        blank(i);
+        break;
+    }
+    if (c == '\n') ++line;
+    ++i;
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    out.comments.push_back(current_comment);
+  }
+  return out;
+}
+
+/// `dhc-lint: allow(R1,R5) -- reason` inside a comment's text.
+void parse_annotations(const std::vector<CommentSpan>& comments, std::vector<Annotation>* out) {
+  constexpr std::string_view kMarker = "dhc-lint:";
+  for (const CommentSpan& comment : comments) {
+    const std::size_t marker = comment.text.find(kMarker);
+    if (marker == std::string::npos) continue;
+    // The marker must START the comment (after doc-comment furniture): a
+    // mid-sentence `dhc-lint: allow(...)` is prose about the grammar (this
+    // file's own docs, say), not a suppression.
+    const bool at_start = [&] {
+      for (std::size_t k = 0; k < marker; ++k) {
+        const char c = comment.text[k];
+        if (c != ' ' && c != '\t' && c != '/' && c != '*' && c != '!' && c != '<') return false;
+      }
+      return true;
+    }();
+    if (!at_start) continue;
+    std::size_t pos = marker + kMarker.size();
+    while (pos < comment.text.size() && std::isspace(static_cast<unsigned char>(comment.text[pos]))) ++pos;
+    if (pos + 6 > comment.text.size() || comment.text.compare(pos, 6, "allow(") != 0) continue;
+    const std::size_t open = pos + 6;
+    const std::size_t close = comment.text.find(')', open);
+    if (close == std::string::npos) continue;
+    Annotation ann;
+    ann.line = comment.line;
+    std::string rule;
+    for (std::size_t k = open; k <= close; ++k) {
+      const char c = comment.text[k];
+      if (c == ',' || c == ')') {
+        if (!rule.empty()) ann.rules.push_back(rule);
+        rule.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        rule.push_back(c);
+      }
+    }
+    const std::size_t dashes = comment.text.find("--", close);
+    if (dashes != std::string::npos) {
+      std::size_t r = dashes + 2;
+      while (r < comment.text.size() && std::isspace(static_cast<unsigned char>(comment.text[r]))) ++r;
+      std::size_t e = comment.text.size();
+      while (e > r && std::isspace(static_cast<unsigned char>(comment.text[e - 1]))) --e;
+      ann.reason = comment.text.substr(r, e - r);
+    }
+    if (!ann.rules.empty()) out->push_back(ann);
+  }
+}
+
+/// Maps an offset in the stripped text to its 1-based line number.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view text) {
+    starts_.push_back(0);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') starts_.push_back(i + 1);
+    }
+  }
+  int line_of(std::size_t offset) const {
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), offset);
+    return static_cast<int>(it - starts_.begin());
+  }
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+bool word_at(std::string_view text, std::size_t pos, std::string_view word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < text.size() && is_ident_char(text[end])) return false;
+  return true;
+}
+
+/// Finds every word-bounded occurrence of `word`; when `call_only` is set the
+/// next non-space character must be '(' (so `time(` trips but `time_point`,
+/// `timer`, and `wall_time(` do not).
+void find_word(std::string_view text, const LineIndex& lines, std::string_view word, bool call_only,
+               std::string_view rule, std::string_view message, std::vector<Finding>* out) {
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string_view::npos) {
+    if (word_at(text, pos, word)) {
+      bool hit = true;
+      if (call_only) {
+        std::size_t j = pos + word.size();
+        while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
+        hit = j < text.size() && text[j] == '(';
+      }
+      if (hit) {
+        out->push_back({"", lines.line_of(pos), std::string(rule), std::string(message), false, ""});
+      }
+    }
+    pos += word.size();
+  }
+}
+
+/// R4: `std::map<K*, ...>` / `std::set<K*>` — extracts the first template
+/// argument (angle-depth aware) and flags it if it names a pointer type.
+void scan_pointer_keys(std::string_view text, const LineIndex& lines, std::vector<Finding>* out) {
+  for (std::string_view container : {std::string_view("map"), std::string_view("set")}) {
+    std::size_t pos = 0;
+    const std::string needle = "std::" + std::string(container);
+    while ((pos = text.find(needle, pos)) != std::string_view::npos) {
+      const std::size_t word_start = pos + 5;  // after "std::"
+      if (!word_at(text, word_start, container)) {
+        pos += needle.size();
+        continue;
+      }
+      std::size_t j = word_start + container.size();
+      while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+      if (j >= text.size() || text[j] != '<') {
+        pos += needle.size();
+        continue;
+      }
+      // Walk the first template argument at depth 1.
+      int depth = 1;
+      bool key_has_pointer = false;
+      std::size_t k = j + 1;
+      for (; k < text.size() && depth > 0; ++k) {
+        const char c = text[k];
+        if (c == '<') {
+          ++depth;
+        } else if (c == '>') {
+          --depth;
+        } else if (c == ',' && depth == 1) {
+          break;
+        } else if (c == '*' && depth == 1) {
+          key_has_pointer = true;
+        }
+      }
+      if (key_has_pointer) {
+        out->push_back({"", lines.line_of(pos), "R4",
+                        "pointer-keyed std::" + std::string(container) +
+                            " — iteration order is the allocator's address order (ASLR); key by a "
+                            "stable id instead",
+                        false, ""});
+      }
+      pos = j;
+    }
+  }
+}
+
+/// R5: `static` declaring mutable data (no '(' before the declarator ends,
+/// no const/constexpr qualifier).  `static_cast` / `static_assert` never
+/// match because the word boundary fails on the '_'.
+void scan_bare_static(std::string_view text, const LineIndex& lines, std::vector<Finding>* out) {
+  std::size_t pos = 0;
+  while ((pos = text.find("static", pos)) != std::string_view::npos) {
+    if (!word_at(text, pos, "static")) {
+      pos += 6;
+      continue;
+    }
+    std::size_t j = pos + 6;
+    int angle_depth = 0;
+    bool is_function = false;
+    bool is_const = false;
+    while (j < text.size()) {
+      const char c = text[j];
+      if (c == '<') {
+        ++angle_depth;
+      } else if (c == '>') {
+        if (angle_depth > 0) --angle_depth;
+      } else if (c == '(' && angle_depth == 0) {
+        is_function = true;  // declarator reached a parameter list first
+        break;
+      } else if ((c == ';' || c == '=' || c == '{') && angle_depth == 0) {
+        break;  // data declarator ended before any parameter list
+      } else if (is_ident_char(c)) {
+        std::size_t e = j;
+        while (e < text.size() && is_ident_char(text[e])) ++e;
+        const std::string_view tok = text.substr(j, e - j);
+        if (tok == "const" || tok == "constexpr" || tok == "consteval" || tok == "constinit") {
+          is_const = true;
+        }
+        j = e;
+        continue;
+      }
+      ++j;
+    }
+    if (!is_function && !is_const) {
+      out->push_back({"", lines.line_of(pos), "R5",
+                      "bare mutable static state on the step path — shared across worker threads "
+                      "and across trials on the persistent pool; use ShardCounter or per-node "
+                      "state merged serially",
+                      false, ""});
+    }
+    pos += 6;
+  }
+}
+
+bool on_step_path(std::string_view path, const Options& options) {
+  for (const std::string& marker : options.step_path_markers) {
+    if (path.find(marker) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FileReport scan_source(std::string_view path_label, std::string_view text, const Options& options) {
+  FileReport report;
+  StrippedSource stripped = strip_comments_and_strings(text);
+  parse_annotations(stripped.comments, &report.annotations);
+  // Blank #include directives: `#include <unordered_map>` names a banned
+  // token but the hazard is the *use*; flagging both would demand two
+  // annotations for one decision.
+  for (std::size_t bol = 0; bol < stripped.text.size();) {
+    std::size_t eol = stripped.text.find('\n', bol);
+    if (eol == std::string::npos) eol = stripped.text.size();
+    std::size_t p = bol;
+    while (p < eol && (stripped.text[p] == ' ' || stripped.text[p] == '\t')) ++p;
+    if (stripped.text[p] == '#') {
+      ++p;
+      while (p < eol && (stripped.text[p] == ' ' || stripped.text[p] == '\t')) ++p;
+      if (stripped.text.compare(p, 7, "include") == 0) {
+        for (std::size_t k = bol; k < eol; ++k) stripped.text[k] = ' ';
+      }
+    }
+    bol = eol + 1;
+  }
+  const LineIndex lines(stripped.text);
+  const bool step_path = on_step_path(path_label, options);
+
+  std::vector<Finding>& f = report.findings;
+  find_word(stripped.text, lines, "thread_local", /*call_only=*/false, "R1",
+            "thread_local state outlives the trial on persistent WorkerPool threads and couples "
+            "consecutive trials",
+            &f);
+  const std::string r2_message =
+      step_path
+          ? "unordered container on the step path — hash iteration order is not part of the "
+            "determinism contract; use a flat/ordered container or a sorted drain"
+          : "unordered container — audit required: annotate why hash order can never reach "
+            "observable state (membership-only), or convert to an ordered container";
+  for (std::string_view word :
+       {std::string_view("unordered_map"), std::string_view("unordered_set"),
+        std::string_view("unordered_multimap"), std::string_view("unordered_multiset")}) {
+    find_word(stripped.text, lines, word, /*call_only=*/false, "R2", r2_message, &f);
+  }
+  find_word(stripped.text, lines, "rand", /*call_only=*/true, "R3",
+            "rand() draws from unseeded global state; use the trial's splitmix64 stream", &f);
+  find_word(stripped.text, lines, "srand", /*call_only=*/true, "R3",
+            "srand() reseeds global state shared across trials; use per-trial Rng streams", &f);
+  find_word(stripped.text, lines, "random_device", /*call_only=*/false, "R3",
+            "random_device is hardware entropy — unreproducible by construction", &f);
+  find_word(stripped.text, lines, "time", /*call_only=*/true, "R3",
+            "time() leaks the wall clock into the run; seeds and schedules must be explicit", &f);
+  find_word(stripped.text, lines, "system_clock", /*call_only=*/false, "R3",
+            "system_clock is the adjustable wall clock; use steady_clock for measurement only", &f);
+  find_word(stripped.text, lines, "high_resolution_clock", /*call_only=*/false, "R3",
+            "high_resolution_clock is an alias with no stability guarantee; use steady_clock", &f);
+  scan_pointer_keys(stripped.text, lines, &f);
+  if (step_path) {
+    scan_bare_static(stripped.text, lines, &f);
+  }
+
+  for (Finding& finding : f) {
+    finding.file.assign(path_label.begin(), path_label.end());
+  }
+  std::sort(f.begin(), f.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+
+  // Apply inline suppressions: an allow() on the finding's line or the line
+  // directly above, covering the rule, with a non-empty `-- reason`.
+  for (Finding& finding : f) {
+    for (Annotation& ann : report.annotations) {
+      if (ann.line != finding.line && ann.line != finding.line - 1) continue;
+      if (std::find(ann.rules.begin(), ann.rules.end(), finding.rule) == ann.rules.end()) continue;
+      if (ann.reason.empty()) continue;  // an allow() without a reason does not count
+      finding.suppressed = true;
+      finding.suppress_reason = ann.reason;
+      ann.used = true;
+      break;
+    }
+  }
+  // File-level allowlist entries.
+  for (Finding& finding : f) {
+    if (finding.suppressed) continue;
+    for (const AllowlistEntry& entry : options.allowlist) {
+      if (entry.rule != finding.rule) continue;
+      if (finding.file.find(entry.path_substring) == std::string::npos) continue;
+      finding.suppressed = true;
+      finding.suppress_reason = entry.reason;
+      // `used` is tracked on the caller's copy in run_lint.
+      break;
+    }
+  }
+  for (const Finding& finding : f) {
+    if (!finding.suppressed) ++report.unsuppressed;
+  }
+  return report;
+}
+
+std::vector<AllowlistEntry> parse_allowlist(std::string_view text, std::vector<std::string>* errors) {
+  std::vector<AllowlistEntry> entries;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    std::istringstream fields(line);
+    AllowlistEntry entry;
+    fields >> entry.rule >> entry.path_substring;
+    const std::size_t dashes = line.find("--");
+    if (entry.rule.empty() || entry.path_substring.empty() || entry.path_substring == "--" ||
+        dashes == std::string::npos || dashes + 2 >= line.size()) {
+      if (errors) {
+        errors->push_back("line " + std::to_string(lineno) +
+                          ": expected `<rule> <path-substring> -- <reason>`");
+      }
+      continue;
+    }
+    std::size_t r = dashes + 2;
+    while (r < line.size() && std::isspace(static_cast<unsigned char>(line[r]))) ++r;
+    entry.reason = line.substr(r);
+    if (entry.reason.empty()) {
+      if (errors) {
+        errors->push_back("line " + std::to_string(lineno) + ": suppression reason is empty");
+      }
+      continue;
+    }
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+int run_lint(const std::vector<std::string>& paths, const Options& options, std::ostream& out) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  bool io_error = false;
+  const auto wants = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+  };
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (auto it = fs::recursive_directory_iterator(path, ec);
+           !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (it->is_regular_file(ec) && wants(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+      if (ec) {
+        out << "dhc_lint: error walking " << path << ": " << ec.message() << "\n";
+        io_error = true;
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(fs::path(path).generic_string());
+    } else {
+      out << "dhc_lint: no such file or directory: " << path << "\n";
+      io_error = true;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  Options scan_options = options;  // local copy so allowlist `used` bits accumulate
+  int total_findings = 0;
+  int total_suppressed = 0;
+  int total_unsuppressed = 0;
+  int stale_annotations = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      out << "dhc_lint: cannot read " << file << "\n";
+      io_error = true;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    FileReport report = scan_source(file, text, scan_options);
+    for (const Finding& finding : report.findings) {
+      ++total_findings;
+      if (finding.suppressed) {
+        ++total_suppressed;
+        // Mark matching allowlist entries used (inline suppressions marked in scan).
+        for (AllowlistEntry& entry : scan_options.allowlist) {
+          if (entry.rule == finding.rule && entry.reason == finding.suppress_reason &&
+              finding.file.find(entry.path_substring) != std::string::npos) {
+            entry.used = true;
+          }
+        }
+        continue;
+      }
+      ++total_unsuppressed;
+      out << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+          << finding.message << "\n";
+    }
+    for (const Annotation& ann : report.annotations) {
+      if (ann.reason.empty()) {
+        out << file << ":" << ann.line
+            << ": error: dhc-lint allow() without a `-- <reason>`: suppressions must be "
+               "justified\n";
+        ++total_unsuppressed;  // treat as a finding: the annotation is the hazard marker
+        continue;
+      }
+      if (!ann.used) {
+        out << file << ":" << ann.line << ": warning: stale dhc-lint annotation (";
+        for (std::size_t i = 0; i < ann.rules.size(); ++i) {
+          out << (i ? "," : "") << ann.rules[i];
+        }
+        out << ") — suppresses nothing; delete it\n";
+        ++stale_annotations;
+      }
+    }
+  }
+  for (const AllowlistEntry& entry : scan_options.allowlist) {
+    if (!entry.used) {
+      out << "dhc_lint: warning: stale allowlist entry `" << entry.rule << " "
+          << entry.path_substring << "` — suppresses nothing; delete it\n";
+      ++stale_annotations;
+    }
+  }
+  out << "dhc_lint: " << files.size() << " files, " << total_findings << " findings ("
+      << total_suppressed << " suppressed, " << total_unsuppressed << " unsuppressed, "
+      << stale_annotations << " stale suppressions)\n";
+  return (total_unsuppressed > 0 || io_error) ? 1 : 0;
+}
+
+}  // namespace dhc::lint

@@ -1,0 +1,73 @@
+// dhc_lint CLI — see dhc_lint.h for the rules and the suppression grammar.
+//
+// Usage:
+//   dhc_lint [--root=DIR] [--allowlist=FILE] [--no-allowlist] [paths...]
+//
+// With no paths, scans `src` under --root (default: the current directory).
+// The allowlist defaults to <root>/tools/dhc_lint_allowlist.txt when that
+// file exists.  Exit code 0 = clean; 1 = unsuppressed findings, a malformed
+// allowlist, or an I/O error.  Output order is deterministic (sorted paths).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dhc_lint.h"
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::string root = ".";
+  std::string allowlist_path;
+  bool no_allowlist = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--allowlist=", 0) == 0) {
+      allowlist_path = arg.substr(12);
+    } else if (arg == "--no-allowlist") {
+      no_allowlist = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dhc_lint [--root=DIR] [--allowlist=FILE] [--no-allowlist] [paths...]\n"
+                   "Determinism lint for the dhc source tree (rules R1-R5, DESIGN.md §11).\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dhc_lint: unknown flag " << arg << "\n";
+      return 1;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths.push_back("src");
+  for (std::string& p : paths) {
+    if (!fs::path(p).is_absolute()) p = (fs::path(root) / p).generic_string();
+  }
+
+  dhc::lint::Options options;
+  if (!no_allowlist) {
+    if (allowlist_path.empty()) {
+      const fs::path candidate = fs::path(root) / "tools" / "dhc_lint_allowlist.txt";
+      std::error_code ec;
+      if (fs::is_regular_file(candidate, ec)) allowlist_path = candidate.generic_string();
+    }
+    if (!allowlist_path.empty()) {
+      std::ifstream in(allowlist_path, std::ios::binary);
+      if (!in) {
+        std::cerr << "dhc_lint: cannot read allowlist " << allowlist_path << "\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      std::vector<std::string> errors;
+      options.allowlist = dhc::lint::parse_allowlist(buffer.str(), &errors);
+      for (const std::string& error : errors) {
+        std::cerr << "dhc_lint: " << allowlist_path << ": " << error << "\n";
+      }
+      if (!errors.empty()) return 1;
+    }
+  }
+  return dhc::lint::run_lint(paths, options, std::cout);
+}
